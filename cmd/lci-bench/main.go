@@ -1,0 +1,164 @@
+// lci-bench regenerates the microbenchmark figures of the paper's
+// evaluation (§6.2): Figure 3 (process-based message rate), Figure 4
+// (thread-based message rate, dedicated/shared resources) and Figure 5
+// (thread-based bandwidth), printing one row per series point. It also
+// prints the Table 1 paradigm matrix and the simulated Table 2 platform
+// configuration.
+//
+// Usage:
+//
+//	lci-bench -fig 4                # one figure
+//	lci-bench -fig all -iters 5000  # everything, slower
+//	lci-bench -table1 -platforms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lci"
+	"lci/internal/bench"
+	"lci/internal/lcw"
+)
+
+var (
+	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
+	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
+	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
+	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
+	platforms = flag.Bool("platforms", false, "print the simulated platform configuration (Table 2)")
+)
+
+func pairSweep() []int {
+	var out []int
+	for p := 1; p <= *maxPairs; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+func fig3() {
+	fmt.Println("== Figure 3: process-based message rate (8 B, unidirectional) ==")
+	for _, plat := range lci.Platforms() {
+		for _, kind := range []lcw.Kind{lcw.LCI, lcw.MPI, lcw.GASNET} {
+			for _, pairs := range pairSweep() {
+				res, err := bench.MessageRateProcess(kind, plat, pairs, *itersFlag)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					continue
+				}
+				fmt.Println(res)
+			}
+		}
+	}
+}
+
+func fig4() {
+	fmt.Println("== Figure 4: thread-based message rate (8 B, unidirectional) ==")
+	type series struct {
+		kind      lcw.Kind
+		dedicated bool
+	}
+	for _, plat := range lci.Platforms() {
+		for _, s := range []series{
+			{lcw.LCI, true}, {lcw.LCI, false},
+			{lcw.MPIX, true}, {lcw.MPI, false},
+			{lcw.GASNET, false},
+		} {
+			for _, threads := range pairSweep() {
+				res, err := bench.MessageRateThread(s.kind, plat, threads, *itersFlag, s.dedicated)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					continue
+				}
+				fmt.Println(res)
+			}
+		}
+	}
+}
+
+func fig5() {
+	fmt.Println("== Figure 5: thread-based bandwidth (send-receive, unidirectional) ==")
+	type series struct {
+		kind      lcw.Kind
+		dedicated bool
+	}
+	threads := *maxPairs
+	for _, plat := range lci.Platforms() {
+		for _, s := range []series{{lcw.LCI, true}, {lcw.LCI, false}, {lcw.MPIX, true}, {lcw.MPI, false}} {
+			for size := 16; size <= 1<<20; size *= 16 {
+				iters := *itersFlag / 10
+				if size >= 1<<18 {
+					iters /= 4
+				}
+				if iters < 8 {
+					iters = 8
+				}
+				res, err := bench.BandwidthThread(s.kind, plat, threads, iters, size, s.dedicated)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					continue
+				}
+				fmt.Println(res)
+			}
+		}
+	}
+}
+
+func printTable1() {
+	fmt.Println("== Table 1: post_comm paradigm matrix ==")
+	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
+	rows := []struct {
+		dir, rb, rc, valid, what string
+	}{
+		{"OUT", "none", "none", "yes", "send"},
+		{"OUT", "none", "specified", "yes", "active message"},
+		{"OUT", "specified", "none", "yes", "RMA put"},
+		{"OUT", "specified", "specified", "yes", "RMA put with signal"},
+		{"IN", "none", "none", "yes", "receive"},
+		{"IN", "none", "specified", "no", "-"},
+		{"IN", "specified", "none", "yes", "RMA get"},
+		{"IN", "specified", "specified", "yes*", "RMA get with signal (*unimplemented, §5.3)"},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-10s %-10s %-11s %-9s %s\n", r.dir, r.rb, r.rc, r.valid, r.what)
+	}
+}
+
+func printPlatforms() {
+	fmt.Println("== Table 2 (simulated): platform configuration ==")
+	for _, p := range lci.Platforms() {
+		fmt.Printf("%-12s NIC=%-18s Network=%-28s provider=%s\n", p.Name, p.NIC, p.Network, p.Provider)
+	}
+}
+
+func main() {
+	flag.Parse()
+	if *table1 {
+		printTable1()
+	}
+	if *platforms {
+		printPlatforms()
+	}
+	switch *figFlag {
+	case "3":
+		fig3()
+	case "4":
+		fig4()
+	case "5":
+		fig5()
+	case "all":
+		fig3()
+		fig4()
+		fig5()
+	case "":
+		if !*table1 && !*platforms {
+			flag.Usage()
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,35 @@
+// lci-resources regenerates Figure 6 of the paper: the maximum throughput
+// of individual LCI resources (completion queue, matching engine, packet
+// pool) over thread counts, each thread performing pairs of the key
+// critical-path methods.
+//
+// Usage:
+//
+//	lci-resources -iters 100000 -maxthreads 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lci/internal/bench"
+)
+
+func main() {
+	iters := flag.Int("iters", 100_000, "operation pairs per thread")
+	maxThreads := flag.Int("maxthreads", 32, "largest thread count")
+	flag.Parse()
+
+	fmt.Println("== Figure 6: individual resource throughput ==")
+	for _, res := range []string{"packet", "matching", "cq", "cq-fixed"} {
+		for threads := 1; threads <= *maxThreads; threads *= 2 {
+			r, err := bench.ResourceThroughput(res, threads, *iters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println(r)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package lci
+
+import (
+	"fmt"
+
+	"lci/internal/comp"
+)
+
+// This file provides small collectives built from LCI point-to-point
+// primitives. LCI itself is a point-to-point library; the paper builds
+// collectives (and recommends building nonblocking ones with completion
+// graphs, §4.2.6). Barrier here is the dissemination algorithm used by the
+// examples, benchmarks and applications.
+
+// barrierTag is the reserved tag space for Barrier. Barriers match on the
+// runtime's dedicated internal engine, so they never collide with user
+// traffic.
+const barrierTag = 1 << 20
+
+// Barrier blocks until every rank has entered the barrier, progressing
+// the chosen device while waiting (options: WithDevice, WithWorker).
+// Every rank must call Barrier the same number of times.
+func (rt *Runtime) Barrier(opts ...Option) error {
+	n := rt.NumRanks()
+	if n == 1 {
+		return nil
+	}
+	if rt.barrierME == nil {
+		return fmt.Errorf("lci: barrier engine not initialized")
+	}
+	me := rt.barrierME
+	epoch := rt.barrierEpoch
+	rt.barrierEpoch++
+	base := barrierTag + epoch*64
+
+	var payload [1]byte
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		sendTo := (rt.Rank() + dist) % n
+		recvFrom := (rt.Rank() - dist + n) % n
+		tag := base + k
+
+		rcnt := comp.NewCounter()
+		sendOpts := append(append([]Option(nil), opts...), WithMatchingEngine(me))
+		var rbuf [1]byte
+		// Post the receive first, then push the send until accepted.
+		rst, err := rt.PostRecv(recvFrom, rbuf[:], tag, rcnt, sendOpts...)
+		if err != nil {
+			return err
+		}
+		for {
+			st, err := rt.PostSend(sendTo, payload[:], tag, comp.NewCounter(), sendOpts...)
+			if err != nil {
+				return err
+			}
+			if !st.IsRetry() {
+				break
+			}
+			rt.progressOpts(opts)
+		}
+		// A Done receive (peer's message had already arrived) will never
+		// signal the counter; only wait when the receive was parked.
+		for rst.IsPosted() && rcnt.Load() < 1 {
+			rt.progressOpts(opts)
+		}
+	}
+	return nil
+}
+
+// progressOpts progresses the device selected by opts (default device
+// otherwise).
+func (rt *Runtime) progressOpts(opts []Option) {
+	o := buildOpts(opts)
+	if o.Device != nil {
+		o.Device.Progress()
+		return
+	}
+	rt.core.DefaultDevice().Progress()
+}

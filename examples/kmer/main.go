@@ -1,0 +1,81 @@
+// kmer runs a small end-to-end k-mer counting job (the paper's §6.3
+// mini-app) through the public API: 4 simulated ranks, 2 worker threads
+// each, LCI transport, and prints the occurrence histogram with a check
+// against the sequential oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"lci"
+	"lci/internal/kmer"
+	"lci/internal/rpc"
+)
+
+func main() {
+	const ranks, threads = 4, 2
+	cfg := kmer.Config{
+		Reads: kmer.ReadsConfig{
+			GenomeLen: 30_000, ReadLen: 100, NumReads: 3_000,
+			ErrorRate: 0.01, Seed: 11,
+		},
+		K: 31, Threads: threads, AggBytes: 8192, BloomBitsPerKmer: 64,
+	}
+
+	world := lci.NewWorld(ranks)
+	defer world.Close()
+
+	results := make([]kmer.Result, ranks)
+	var mu sync.Mutex
+	err := world.Launch(func(rt *lci.Runtime) error {
+		tr, err := rpc.NewLCITransport(rt, threads)
+		if err != nil {
+			return err
+		}
+		res, err := kmer.Run(tr, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[rt.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hist := map[int64]int64{}
+	var distinct int64
+	for _, r := range results {
+		for c, n := range r.Histogram {
+			hist[c] += n
+		}
+		distinct += r.Distinct
+	}
+	wantHist, wantDistinct, _ := kmer.SequentialOracle(cfg)
+
+	fmt.Printf("distinct k-mers with >=2 occurrences: %d (oracle: %d)\n", distinct, wantDistinct)
+	var counts []int64
+	for c := range hist {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	fmt.Println("occurrences  #kmers  oracle")
+	shown := 0
+	for _, c := range counts {
+		if shown >= 10 {
+			fmt.Println("...")
+			break
+		}
+		fmt.Printf("%11d  %6d  %6d\n", c, hist[c], wantHist[c])
+		shown++
+	}
+	if distinct != wantDistinct {
+		log.Fatalf("MISMATCH vs oracle: %d != %d", distinct, wantDistinct)
+	}
+	fmt.Println("histogram matches the sequential oracle")
+}

@@ -1,0 +1,94 @@
+// Quickstart: two ranks exchange a two-sided message and an active
+// message through the public LCI API — the minimal round trip through
+// posting, progress, and completion objects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lci"
+)
+
+func main() {
+	world := lci.NewWorld(2)
+	defer world.Close()
+
+	err := world.Launch(func(rt *lci.Runtime) error {
+		peer := 1 - rt.Rank()
+
+		// Every rank registers a completion queue for incoming active
+		// messages; registration order makes the handle symmetric.
+		amq := lci.NewCQ()
+		rcomp := rt.RegisterRComp(amq)
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+
+		if rt.Rank() == 0 {
+			// Two-sided send. Small messages complete immediately
+			// (done); larger ones signal the completion object.
+			cnt := lci.NewCounter()
+			st, err := rt.PostSend(peer, []byte("hello via send-recv"), 1, cnt)
+			if err != nil {
+				return err
+			}
+			for st.IsRetry() {
+				rt.Progress()
+				st, err = rt.PostSend(peer, []byte("hello via send-recv"), 1, cnt)
+				if err != nil {
+					return err
+				}
+			}
+			for st.IsPosted() && cnt.Load() == 0 {
+				rt.Progress()
+			}
+
+			// Active message to the peer's queue.
+			for {
+				st, err := rt.PostAM(peer, []byte("hello via AM"), 2, rcomp, nil)
+				if err != nil {
+					return err
+				}
+				if !st.IsRetry() {
+					break
+				}
+				rt.Progress()
+			}
+			return rt.Barrier()
+		}
+
+		// Rank 1: receive the two-sided message...
+		buf := make([]byte, 64)
+		rq := lci.NewCQ()
+		st, err := rt.PostRecv(peer, buf, 1, rq)
+		if err != nil {
+			return err
+		}
+		if !st.IsDone() {
+			for {
+				var ok bool
+				if st, ok = rq.Pop(); ok {
+					break
+				}
+				rt.Progress()
+			}
+		}
+		fmt.Printf("rank 1 received (send-recv): %q from rank %d tag %d\n",
+			st.Buffer[:st.Size], st.Rank, st.Tag)
+
+		// ...then the active message.
+		for {
+			if am, ok := amq.Pop(); ok {
+				fmt.Printf("rank 1 received (AM):        %q from rank %d tag %d\n",
+					am.Buffer, am.Rank, am.Tag)
+				break
+			}
+			rt.Progress()
+		}
+		return rt.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

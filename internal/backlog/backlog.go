@@ -1,0 +1,87 @@
+// Package backlog implements LCI's backlog queue (§5.1.5): storage for
+// communication requests that cannot be submitted right now and cannot be
+// bounced back to the user — e.g. a rendezvous-protocol send posted from
+// inside the progress engine when the network send queue is full.
+// Retrying inside the progress engine could deadlock, so the request is
+// parked here and retried on later progress calls.
+//
+// The paper expects this to be rare, so the implementation is deliberately
+// simple: a spinlocked queue, with an atomic flag that lets the progress
+// engine skip an empty backlog without taking the lock.
+package backlog
+
+import (
+	"lci/internal/mpmc"
+	"lci/internal/spin"
+)
+
+// Op is a deferred operation. It returns nil when it finally succeeded, or
+// a retryable error to stay parked.
+type Op func() error
+
+// Queue is the backlog queue.
+type Queue struct {
+	mu       spin.Mutex
+	dq       *mpmc.Deque[Op]
+	nonEmpty spin.Flag
+}
+
+// New returns an empty backlog queue.
+func New() *Queue {
+	return &Queue{dq: mpmc.NewDeque[Op](16)}
+}
+
+// Push parks op at the tail.
+func (q *Queue) Push(op Op) {
+	q.mu.Lock()
+	q.dq.PushBack(op)
+	q.mu.Unlock()
+	q.nonEmpty.Set(true)
+}
+
+// Empty reports (without locking) whether the backlog is empty.
+func (q *Queue) Empty() bool { return !q.nonEmpty.Get() }
+
+// Len returns the current queue length.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	n := q.dq.Len()
+	q.mu.Unlock()
+	return n
+}
+
+// Drain retries parked operations in FIFO order until one still fails
+// (it is put back at the head, preserving order) or the queue empties.
+// It returns the number of operations that succeeded.
+func (q *Queue) Drain(retryable func(error) bool) int {
+	if q.Empty() {
+		return 0
+	}
+	done := 0
+	for {
+		q.mu.Lock()
+		op, ok := q.dq.PopFront()
+		if !ok {
+			q.nonEmpty.Set(false)
+			q.mu.Unlock()
+			return done
+		}
+		q.mu.Unlock()
+
+		if err := op(); err != nil {
+			if retryable(err) {
+				q.mu.Lock()
+				q.dq.PushFront(op)
+				q.mu.Unlock()
+				q.nonEmpty.Set(true)
+				return done
+			}
+			// Non-retryable errors are dropped here; the op itself is
+			// responsible for reporting fatal failures to its completion
+			// object before returning them.
+			done++
+			continue
+		}
+		done++
+	}
+}

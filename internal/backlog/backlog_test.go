@@ -1,0 +1,86 @@
+package backlog_test
+
+import (
+	"errors"
+	"testing"
+
+	"lci/internal/backlog"
+)
+
+var errAgain = errors.New("again")
+
+func retryable(err error) bool { return errors.Is(err, errAgain) }
+
+func TestDrainFIFO(t *testing.T) {
+	q := backlog.New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Push(func() error { order = append(order, i); return nil })
+	}
+	if q.Empty() {
+		t.Fatal("queue with 5 ops reports empty")
+	}
+	if n := q.Drain(retryable); n != 5 {
+		t.Fatalf("Drain = %d, want 5", n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestDrainStopsAtRetryableAndPreservesOrder(t *testing.T) {
+	q := backlog.New()
+	attempts := 0
+	q.Push(func() error {
+		attempts++
+		if attempts < 3 {
+			return errAgain
+		}
+		return nil
+	})
+	ran := false
+	q.Push(func() error { ran = true; return nil })
+
+	if n := q.Drain(retryable); n != 0 {
+		t.Fatalf("first drain = %d, want 0", n)
+	}
+	if ran {
+		t.Fatal("second op ran before first succeeded (order violated)")
+	}
+	q.Drain(retryable) // attempt 2, still parked
+	if n := q.Drain(retryable); n != 2 {
+		t.Fatalf("final drain = %d, want 2", n)
+	}
+	if !ran || attempts != 3 {
+		t.Fatalf("ran=%v attempts=%d", ran, attempts)
+	}
+}
+
+func TestNonRetryableErrorsAreDropped(t *testing.T) {
+	q := backlog.New()
+	q.Push(func() error { return errors.New("fatal") })
+	done := false
+	q.Push(func() error { done = true; return nil })
+	if n := q.Drain(retryable); n != 2 {
+		t.Fatalf("Drain = %d, want 2 (fatal op dropped, next op ran)", n)
+	}
+	if !done {
+		t.Fatal("op after fatal never ran")
+	}
+}
+
+func TestEmptyFlagSkipsLock(t *testing.T) {
+	q := backlog.New()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if n := q.Drain(retryable); n != 0 {
+		t.Fatalf("Drain on empty = %d", n)
+	}
+}

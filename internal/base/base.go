@@ -1,0 +1,158 @@
+// Package base defines the basic vocabulary shared by every layer of the
+// LCI reproduction: operation status (done/posted/retry, §4.2.5 of the
+// paper), completion-object signaling, matching policies, and communication
+// directions. It sits at the bottom of the dependency graph; the public
+// root package re-exports these types with aliases.
+package base
+
+import "fmt"
+
+// State classifies the outcome of a communication posting operation
+// (§4.2.5). Errors are reported separately as Go error values.
+type State uint8
+
+const (
+	// Done: the operation completed immediately; the completion object
+	// will NOT be signaled.
+	Done State = iota
+	// Posted: the operation is pending; the completion object will be
+	// signaled when it completes.
+	Posted
+	// Retry: the operation must be resubmitted due to temporary resource
+	// unavailability. The Status carries a reason code.
+	Retry
+)
+
+func (s State) String() string {
+	switch s {
+	case Done:
+		return "done"
+	case Posted:
+		return "posted"
+	case Retry:
+		return "retry"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// RetryReason gives more detail about a Retry status, mirroring the
+// paper's "multiple status codes per category" (e.g. which resource was
+// temporarily unavailable).
+type RetryReason uint8
+
+const (
+	RetryNone       RetryReason = iota
+	RetryPacketPool             // no packet available in the packet pool
+	RetryTxFull                 // the network device transmit queue is full
+	RetryLockBusy               // a try-lock wrapper failed to acquire a native lock
+	RetryBacklog                // the request was diverted to the backlog queue
+)
+
+func (r RetryReason) String() string {
+	switch r {
+	case RetryNone:
+		return "none"
+	case RetryPacketPool:
+		return "packet-pool-empty"
+	case RetryTxFull:
+		return "tx-queue-full"
+	case RetryLockBusy:
+		return "native-lock-busy"
+	case RetryBacklog:
+		return "pushed-to-backlog"
+	default:
+		return fmt.Sprintf("retry(%d)", uint8(r))
+	}
+}
+
+// Status is the completion descriptor delivered to completion objects and
+// returned by posting operations. When State is Done (from a posting
+// operation) or when delivered through a completion object, the remaining
+// fields are valid.
+type Status struct {
+	State  State
+	Reason RetryReason
+	Rank   int    // peer rank (source for receives/AMs, target for sends)
+	Tag    int    // message tag
+	Buffer []byte // message buffer (receive side: the delivered data)
+	Size   int    // message size in bytes
+	Ctx    any    // user context attached at posting time
+}
+
+// IsDone reports whether the operation completed immediately.
+func (s Status) IsDone() bool { return s.State == Done }
+
+// IsPosted reports whether the operation is pending completion.
+func (s Status) IsPosted() bool { return s.State == Posted }
+
+// IsRetry reports whether the operation must be retried.
+func (s Status) IsRetry() bool { return s.State == Retry }
+
+// Comp is a completion object (§4.2.6): a functor with a signal method.
+// The runtime invokes Signal exactly once per completed operation that
+// named this object. Implementations must be safe for concurrent Signal
+// calls from multiple goroutines.
+type Comp interface {
+	Signal(Status)
+}
+
+// Direction selects which way PostComm moves data (§4.2.4, Table 1).
+type Direction uint8
+
+const (
+	// Out moves data from the local buffer to the peer (send-like).
+	Out Direction = iota
+	// In moves data from the peer to the local buffer (receive-like).
+	In
+)
+
+func (d Direction) String() string {
+	if d == Out {
+		return "OUT"
+	}
+	return "IN"
+}
+
+// MatchingPolicy instructs the matching engine how to build the insertion
+// key from (source rank, tag) (§4.3.2). RankTag is the default; the other
+// policies implement the paper's restricted wildcard matching: the sender
+// must declare that the message will be matched by a wildcard receive.
+type MatchingPolicy uint8
+
+const (
+	MatchRankTag  MatchingPolicy = iota // match on (source rank, tag)
+	MatchRankOnly                       // match on source rank (wildcard tag)
+	MatchTagOnly                        // match on tag (wildcard source)
+	MatchNone                           // match anything on this engine
+)
+
+func (p MatchingPolicy) String() string {
+	switch p {
+	case MatchRankTag:
+		return "rank+tag"
+	case MatchRankOnly:
+		return "rank-only"
+	case MatchTagOnly:
+		return "tag-only"
+	case MatchNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// RComp is a remote completion handle (§4.2.3): a small integer registered
+// on the target process that names one of its completion objects. It is
+// safe to embed in wire headers.
+type RComp uint32
+
+// InvalidRComp is the zero value; a valid handle is always non-zero.
+const InvalidRComp RComp = 0
+
+// AnyTag and AnySource are wildcard values accepted by receive operations
+// under the matching policies that permit them.
+const (
+	AnyTag    = -1
+	AnySource = -1
+)

@@ -1,0 +1,247 @@
+// Package bench implements the paper's evaluation harness (§6): the
+// message-rate and bandwidth microbenchmarks over LCW (Figures 3–5) and
+// the individual-resource throughput microbenchmark (Figure 6). The
+// testing.B benches at the repository root and the cmd/lci-bench and
+// cmd/lci-resources executables are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lci"
+	"lci/internal/lcw"
+)
+
+// RateResult is one point of a message-rate series.
+type RateResult struct {
+	Library  string  // lci, mpi, mpix, gasnet
+	Platform string  // SimExpanse / SimDelta
+	Mode     string  // process / thread-dedicated / thread-shared
+	Pairs    int     // communicating pairs (processes or threads per side)
+	Msgs     int64   // unidirectional messages counted
+	Seconds  float64 // wall time
+	RateMps  float64 // million messages per second (unidirectional)
+}
+
+func (r RateResult) String() string {
+	return fmt.Sprintf("%-7s %-11s %-16s pairs=%-4d rate=%8.3f Mmsg/s",
+		r.Library, r.Platform, r.Mode, r.Pairs, r.RateMps)
+}
+
+// BWResult is one point of a bandwidth series.
+type BWResult struct {
+	Library  string
+	Platform string
+	Mode     string
+	Threads  int
+	Size     int
+	Bytes    int64
+	Seconds  float64
+	GBps     float64 // unidirectional GB/s
+}
+
+func (r BWResult) String() string {
+	return fmt.Sprintf("%-7s %-11s %-16s threads=%-3d size=%-8d bw=%8.3f GB/s",
+		r.Library, r.Platform, r.Mode, r.Threads, r.Size, r.GBps)
+}
+
+// MessageRateProcess runs the process-based mode of Figure 3: pairs
+// single-threaded ranks per "node" (2*pairs ranks total), 8-byte AM
+// ping-pongs, iters per pair. Rank i pairs with rank i+pairs.
+func MessageRateProcess(kind lcw.Kind, platform lci.Platform, pairs, iters int) (RateResult, error) {
+	cfg := lcw.Config{Kind: kind, Ranks: 2 * pairs, ThreadsPerRank: 1}
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		return RateResult{}, err
+	}
+	defer job.Close()
+
+	elapsed := runPingPong(job, pairs, iters, 8, func(pair int) (c lcw.Comm, peer int, initiator bool) {
+		if pair < pairs {
+			return job.Comm(pair), pair + pairs, true
+		}
+		return job.Comm(pair), pair - pairs, false
+	}, 2*pairs)
+
+	msgs := int64(pairs) * int64(iters)
+	return RateResult{
+		Library: kind.String(), Platform: platform.Name, Mode: "process",
+		Pairs: pairs, Msgs: msgs, Seconds: elapsed.Seconds(),
+		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
+// MessageRateThread runs the thread-based modes of Figure 4: two ranks
+// ("one process per node"), threads goroutines per rank, 8-byte AM
+// ping-pongs, dedicated or shared resources.
+func MessageRateThread(kind lcw.Kind, platform lci.Platform, threads, iters int, dedicated bool) (RateResult, error) {
+	cfg := lcw.Config{Kind: kind, Ranks: 2, ThreadsPerRank: threads, Dedicated: dedicated}
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		return RateResult{}, err
+	}
+	defer job.Close()
+
+	elapsed := runPingPong(job, threads, iters, 8, func(pair int) (lcw.Comm, int, bool) {
+		// pair t < threads: thread t of rank 0 (initiator);
+		// pair t >= threads: thread t-threads of rank 1 (responder).
+		if pair < threads {
+			return job.Comm(0), 1, true
+		}
+		return job.Comm(1), 0, false
+	}, 2*threads)
+
+	mode := "thread-shared"
+	if dedicated {
+		mode = "thread-dedicated"
+	}
+	msgs := int64(threads) * int64(iters)
+	return RateResult{
+		Library: kind.String(), Platform: platform.Name, Mode: mode,
+		Pairs: threads, Msgs: msgs, Seconds: elapsed.Seconds(),
+		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
+// runPingPong drives pairs of AM ping-pong workers and returns the
+// elapsed wall time of the communication phase. layout maps a worker
+// index in [0, workers) to its comm, peer rank and role; a worker's
+// thread handle index is its index modulo the per-rank thread count.
+func runPingPong(job *lcw.Job, pairs, iters, size int,
+	layout func(worker int) (lcw.Comm, int, bool), workers int) time.Duration {
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var elapsed time.Duration
+	var once sync.Once
+	t0 := time.Time{}
+
+	for wkr := 0; wkr < workers; wkr++ {
+		comm, peer, initiator := layout(wkr)
+		th := comm.Thread(wkr % job.Config().ThreadsPerRank)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := make([]byte, size)
+			<-start
+			if initiator {
+				for i := 0; i < iters; i++ {
+					for !th.SendAM(peer, msg) {
+						th.Progress()
+					}
+					for miss := 0; ; miss++ {
+						if _, ok := th.PollAM(); ok {
+							break
+						}
+						if miss&63 == 63 {
+							runtime.Gosched() // oversubscription fairness
+						}
+					}
+				}
+			} else {
+				for i := 0; i < iters; i++ {
+					for miss := 0; ; miss++ {
+						if _, ok := th.PollAM(); ok {
+							break
+						}
+						if miss&63 == 63 {
+							runtime.Gosched()
+						}
+					}
+					for !th.SendAM(peer, msg) {
+						th.Progress()
+					}
+				}
+			}
+		}()
+	}
+	once.Do(func() { t0 = time.Now() })
+	close(start)
+	wg.Wait()
+	elapsed = time.Since(t0)
+	return elapsed
+}
+
+// BandwidthThread runs Figure 5: two ranks, threads goroutines per rank,
+// send-receive ping-pongs of the given size, dedicated or shared
+// resources. GASNet is rejected (no send-receive support, as in the
+// paper).
+func BandwidthThread(kind lcw.Kind, platform lci.Platform, threads, iters, size int, dedicated bool) (BWResult, error) {
+	if kind == lcw.GASNET {
+		return BWResult{}, fmt.Errorf("bench: GASNet LCW has no send-receive support (§6.2)")
+	}
+	cfg := lcw.Config{Kind: kind, Ranks: 2, ThreadsPerRank: threads, Dedicated: dedicated}
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		return BWResult{}, err
+	}
+	defer job.Close()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		for t := 0; t < threads; t++ {
+			th := job.Comm(r).Thread(t)
+			peer := 1 - r
+			initiator := r == 0
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([]byte, size)
+				in := make([]byte, size)
+				<-start
+				for i := 0; i < iters; i++ {
+					if initiator {
+						for !th.Recv(peer, in) {
+							th.Progress()
+						}
+						for !th.Send(peer, out) {
+							th.Progress()
+						}
+						for miss := 0; th.RecvsDone() < int64(i+1); miss++ {
+							th.Progress()
+							if miss&63 == 63 {
+								runtime.Gosched()
+							}
+						}
+					} else {
+						for !th.Recv(peer, in) {
+							th.Progress()
+						}
+						for miss := 0; th.RecvsDone() < int64(i+1); miss++ {
+							th.Progress()
+							if miss&63 == 63 {
+								runtime.Gosched()
+							}
+						}
+						for !th.Send(peer, out) {
+							th.Progress()
+						}
+					}
+				}
+				// Drain local send completions so buffers quiesce.
+				for th.SendsDone() < int64(iters) {
+					th.Progress()
+				}
+			}()
+		}
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	mode := "thread-shared"
+	if dedicated {
+		mode = "thread-dedicated"
+	}
+	bytes := int64(threads) * int64(iters) * int64(size)
+	return BWResult{
+		Library: kind.String(), Platform: platform.Name, Mode: mode,
+		Threads: threads, Size: size, Bytes: bytes, Seconds: elapsed.Seconds(),
+		GBps: float64(bytes) / elapsed.Seconds() / 1e9,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lci"
+	"lci/internal/bench"
+	"lci/internal/lcw"
+)
+
+// TestFig4Shape is the reproduction's headline assertion: with many
+// threads, LCI's dedicated-device mode beats standard MPI's shared mode
+// by a wide margin (the paper reports >10x at scale; we require >2x at a
+// modest thread count to stay robust on small CI machines).
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multithreaded rate comparison is not short")
+	}
+	const threads, iters = 8, 2000
+	lciRes, err := bench.MessageRateThread(lcw.LCI, lci.SimExpanse(), threads, iters, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiRes, err := bench.MessageRateThread(lcw.MPI, lci.SimExpanse(), threads, iters, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lci dedicated: %v", lciRes)
+	t.Logf("mpi shared:    %v", mpiRes)
+	if lciRes.RateMps < 2*mpiRes.RateMps {
+		t.Errorf("expected LCI dedicated >> MPI shared, got %.3f vs %.3f Mmsg/s",
+			lciRes.RateMps, mpiRes.RateMps)
+	}
+}
+
+// TestFig6Shape asserts the resource-throughput ordering of Figure 6:
+// packet pool > matching engine > completion queue at high thread counts.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resource throughput comparison is not short")
+	}
+	const threads, iters = 8, 200_000
+	pool, err := bench.ResourceThroughput("packet", threads, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := bench.ResourceThroughput("matching", threads, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := bench.ResourceThroughput("cq", threads, iters/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v\n%v\n%v", pool, match, cq)
+	if !(pool.Mops > match.Mops && match.Mops > cq.Mops) {
+		t.Errorf("expected pool > matching > cq, got %.1f / %.1f / %.1f Mops",
+			pool.Mops, match.Mops, cq.Mops)
+	}
+}

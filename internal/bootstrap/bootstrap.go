@@ -1,0 +1,232 @@
+// Package bootstrap provides the process-management substrate LCI needs to
+// start: rank/size assignment, a key-value store for exchanging network
+// addresses, and a barrier. The paper's LCI supports PMI1, PMI2, PMIx, MPI
+// and Linux flock bootstraps (§3); PMI services do not exist in this
+// environment, so we provide the two that make sense here with identical
+// roles:
+//
+//   - InProc: all ranks live in one OS process (the simulation's normal
+//     mode); the "KVS" is a shared map.
+//   - FileLock: ranks are separate OS processes coordinating through a
+//     shared directory, using exclusive file creation as the lock
+//     primitive (the paper's "flock" mode).
+package bootstrap
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned when a blocking Get or Barrier exceeds its wait
+// budget.
+var ErrTimeout = errors.New("bootstrap: timed out")
+
+// Bootstrap is the minimal PMI-like interface the runtime consumes.
+type Bootstrap interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Put publishes a key-value pair visible to all ranks.
+	Put(key, value string) error
+	// Get blocks until key is available and returns its value.
+	Get(key string) (string, error)
+	// Barrier blocks until all ranks have entered the same barrier.
+	Barrier() error
+	// Close releases bootstrap resources.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// In-process bootstrap
+
+type inprocShared struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	kvs     map[string]string
+	size    int
+	barrier int // arrivals in the current epoch
+	epoch   int
+}
+
+// InProcRank is one rank's view of an in-process bootstrap group.
+type InProcRank struct {
+	shared *inprocShared
+	rank   int
+}
+
+// InProc creates an n-rank in-process bootstrap group and returns one
+// handle per rank.
+func InProc(n int) []*InProcRank {
+	if n < 1 {
+		panic("bootstrap: InProc needs n >= 1")
+	}
+	s := &inprocShared{kvs: make(map[string]string), size: n}
+	s.cond = sync.NewCond(&s.mu)
+	out := make([]*InProcRank, n)
+	for i := range out {
+		out[i] = &InProcRank{shared: s, rank: i}
+	}
+	return out
+}
+
+func (b *InProcRank) Rank() int { return b.rank }
+func (b *InProcRank) Size() int { return b.shared.size }
+
+func (b *InProcRank) Put(key, value string) error {
+	s := b.shared
+	s.mu.Lock()
+	s.kvs[key] = value
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+func (b *InProcRank) Get(key string) (string, error) {
+	s := b.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if v, ok := s.kvs[key]; ok {
+			return v, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (b *InProcRank) Barrier() error {
+	s := b.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.epoch
+	s.barrier++
+	if s.barrier == s.size {
+		s.barrier = 0
+		s.epoch++
+		s.cond.Broadcast()
+		return nil
+	}
+	for s.epoch == epoch {
+		s.cond.Wait()
+	}
+	return nil
+}
+
+func (b *InProcRank) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// File-lock bootstrap
+
+// FileLock coordinates separate OS processes through dir. Rank assignment
+// uses exclusive file creation (O_EXCL), the portable equivalent of the
+// paper's flock trick; the KVS and barriers are files under dir.
+type FileLock struct {
+	dir     string
+	rank    int
+	size    int
+	epoch   int
+	timeout time.Duration
+}
+
+// NewFileLock joins (or creates) the bootstrap group in dir with the given
+// expected size. It blocks until a rank is claimed.
+func NewFileLock(dir string, size int) (*FileLock, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("bootstrap: size %d < 1", size)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	b := &FileLock{dir: dir, size: size, rank: -1, timeout: 30 * time.Second}
+	for r := 0; r < size; r++ {
+		f, err := os.OpenFile(b.rankFile(r), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			if os.IsExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		fmt.Fprintf(f, "%d\n", os.Getpid())
+		f.Close()
+		b.rank = r
+		break
+	}
+	if b.rank == -1 {
+		return nil, fmt.Errorf("bootstrap: all %d ranks already claimed in %s", size, dir)
+	}
+	return b, nil
+}
+
+func (b *FileLock) rankFile(r int) string {
+	return filepath.Join(b.dir, "rank."+strconv.Itoa(r))
+}
+
+func (b *FileLock) Rank() int { return b.rank }
+func (b *FileLock) Size() int { return b.size }
+
+// Put writes the value to a temp file and renames it into place so readers
+// never observe a partial write.
+func (b *FileLock) Put(key, value string) error {
+	tmp := filepath.Join(b.dir, fmt.Sprintf(".tmp.%d.%s", b.rank, key))
+	if err := os.WriteFile(tmp, []byte(value), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(b.dir, "kv."+key))
+}
+
+func (b *FileLock) Get(key string) (string, error) {
+	path := filepath.Join(b.dir, "kv."+key)
+	deadline := time.Now().Add(b.timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			return string(data), nil
+		}
+		if !os.IsNotExist(err) {
+			return "", err
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("%w waiting for key %q", ErrTimeout, key)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Barrier implements a two-phase counting barrier over marker files.
+func (b *FileLock) Barrier() error {
+	epoch := b.epoch
+	b.epoch++
+	marker := filepath.Join(b.dir, fmt.Sprintf("bar.%d.%d", epoch, b.rank))
+	if err := os.WriteFile(marker, nil, 0o644); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(b.timeout)
+	for {
+		n := 0
+		for r := 0; r < b.size; r++ {
+			if _, err := os.Stat(filepath.Join(b.dir, fmt.Sprintf("bar.%d.%d", epoch, r))); err == nil {
+				n++
+			}
+		}
+		if n == b.size {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w in barrier %d (%d/%d arrived)", ErrTimeout, epoch, n, b.size)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close removes this rank's claim file. The last rank out does not sweep
+// the directory; callers own dir lifecycle.
+func (b *FileLock) Close() error {
+	return os.Remove(b.rankFile(b.rank))
+}

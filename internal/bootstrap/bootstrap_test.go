@@ -1,0 +1,122 @@
+package bootstrap_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lci/internal/bootstrap"
+)
+
+func TestInProcRanksAndKVS(t *testing.T) {
+	group := bootstrap.InProc(4)
+	if len(group) != 4 {
+		t.Fatalf("got %d handles", len(group))
+	}
+	var wg sync.WaitGroup
+	for _, b := range group {
+		wg.Add(1)
+		go func(b *bootstrap.InProcRank) {
+			defer wg.Done()
+			if b.Size() != 4 {
+				t.Errorf("Size = %d", b.Size())
+			}
+			key := fmt.Sprintf("addr.%d", b.Rank())
+			if err := b.Put(key, fmt.Sprintf("ep-%d", b.Rank())); err != nil {
+				t.Error(err)
+			}
+			// Everyone reads everyone (blocks until available).
+			for r := 0; r < 4; r++ {
+				v, err := b.Get(fmt.Sprintf("addr.%d", r))
+				if err != nil || v != fmt.Sprintf("ep-%d", r) {
+					t.Errorf("Get(%d) = %q, %v", r, v, err)
+				}
+			}
+			if err := b.Barrier(); err != nil {
+				t.Error(err)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+func TestInProcBarrierEpochs(t *testing.T) {
+	group := bootstrap.InProc(3)
+	var phase [3]int
+	var wg sync.WaitGroup
+	for i, b := range group {
+		wg.Add(1)
+		go func(i int, b *bootstrap.InProcRank) {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				phase[i] = k
+				if err := b.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				// After each barrier every rank must have reached k.
+				for j := range phase {
+					if phase[j] < k {
+						t.Errorf("rank %d saw rank %d at phase %d < %d", i, j, phase[j], k)
+					}
+				}
+				if err := b.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+}
+
+func TestFileLockBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3
+	var wg sync.WaitGroup
+	ranks := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := bootstrap.NewFileLock(dir, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer b.Close()
+			ranks[i] = b.Rank()
+			if err := b.Put(fmt.Sprintf("k%d", b.Rank()), "v"); err != nil {
+				t.Error(err)
+			}
+			for r := 0; r < n; r++ {
+				if _, err := b.Get(fmt.Sprintf("k%d", r)); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := b.Barrier(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, r := range ranks {
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestFileLockOversubscription(t *testing.T) {
+	dir := t.TempDir()
+	a, err := bootstrap.NewFileLock(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := bootstrap.NewFileLock(dir, 1); err == nil {
+		t.Fatal("second claimant for a 1-rank group succeeded")
+	}
+}

@@ -1,0 +1,143 @@
+// Package comp implements LCI's built-in completion objects (§4.2.6,
+// §5.1.4): counter, synchronizer, handler, completion queue (two MPMC
+// implementations), and the completion graph. All are atomic-based; none
+// ever blocks the signaling thread.
+package comp
+
+import (
+	"sync/atomic"
+
+	"lci/internal/base"
+	"lci/internal/mpmc"
+)
+
+// Counter records the number of times it has been signaled. It is an
+// atomic integer (§5.1.4).
+type Counter struct {
+	n atomic.Int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Signal increments the counter; the status is discarded.
+func (c *Counter) Signal(base.Status) { c.n.Add(1) }
+
+// Load returns the number of signals received so far.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+var _ base.Comp = (*Counter)(nil)
+
+// Handler invokes a function on every signal; it is "essentially a
+// function pointer" (§5.1.4). The function must be safe for concurrent
+// invocation.
+type Handler func(base.Status)
+
+// Signal invokes the handler function.
+func (h Handler) Signal(s base.Status) { h(s) }
+
+var _ base.Comp = Handler(nil)
+
+// Sync is the synchronizer: similar to an MPI request but able to accept
+// multiple signals before becoming ready. Expecting one signal it is an
+// atomic flag; expecting n it is a fixed-size status array guarded by two
+// atomic counters (§5.1.4).
+type Sync struct {
+	expected int64
+	got      atomic.Int64 // claimed slots
+	ready    atomic.Int64 // published slots
+	statuses []base.Status
+}
+
+// NewSync returns a synchronizer expecting n signals (n >= 1).
+func NewSync(n int) *Sync {
+	if n < 1 {
+		panic("comp: NewSync needs n >= 1")
+	}
+	return &Sync{expected: int64(n), statuses: make([]base.Status, n)}
+}
+
+// Signal records one completion. Signaling more than n times panics: it
+// means the program wired one synchronizer to too many operations.
+func (s *Sync) Signal(st base.Status) {
+	i := s.got.Add(1) - 1
+	if i >= s.expected {
+		panic("comp: Sync signaled more times than expected")
+	}
+	s.statuses[i] = st
+	s.ready.Add(1)
+}
+
+// Test reports whether all expected signals have arrived.
+func (s *Sync) Test() bool { return s.ready.Load() == s.expected }
+
+// Statuses returns the collected statuses. Valid only after Test reports
+// true.
+func (s *Sync) Statuses() []base.Status { return s.statuses[:s.ready.Load()] }
+
+// Reset rearms the synchronizer for reuse. The caller must guarantee no
+// in-flight signals.
+func (s *Sync) Reset() {
+	s.got.Store(0)
+	s.ready.Store(0)
+}
+
+var _ base.Comp = (*Sync)(nil)
+
+// Queue is the completion queue. The default implementation is the
+// LCRQ-style unbounded MPMC queue; NewFixedQueue gives the bounded
+// fetch-and-add array variant (§5.1.4).
+type Queue struct {
+	q *mpmc.Queue[base.Status] // nil when r is used
+	r *mpmc.Ring[base.Status]
+	// dropped counts signals lost to a full fixed-size queue; the
+	// unbounded variant never drops.
+	dropped atomic.Int64
+}
+
+// NewQueue returns an unbounded (LCRQ-style) completion queue.
+func NewQueue() *Queue { return &Queue{q: mpmc.NewQueue[base.Status](0)} }
+
+// NewFixedQueue returns a bounded fetch-and-add-array completion queue
+// with the given capacity.
+func NewFixedQueue(capacity int) *Queue {
+	return &Queue{r: mpmc.NewRing[base.Status](capacity)}
+}
+
+// Signal enqueues the status. For the fixed variant, a signal arriving at
+// a full queue is counted in Dropped — sizing the queue to the number of
+// in-flight operations is the application's contract, matching LCI.
+func (q *Queue) Signal(s base.Status) {
+	if q.q != nil {
+		q.q.Enqueue(s)
+		return
+	}
+	if !q.r.Enqueue(s) {
+		q.dropped.Add(1)
+	}
+}
+
+// Pop removes the oldest completion, reporting false when the queue is
+// empty (the cq_pop "retry" case in the paper's Listing 2).
+func (q *Queue) Pop() (base.Status, bool) {
+	if q.q != nil {
+		return q.q.Dequeue()
+	}
+	return q.r.Dequeue()
+}
+
+// Len estimates the queue length.
+func (q *Queue) Len() int {
+	if q.q != nil {
+		return q.q.Len()
+	}
+	return q.r.Len()
+}
+
+// Dropped reports signals rejected by a full fixed-size queue.
+func (q *Queue) Dropped() int64 { return q.dropped.Load() }
+
+var _ base.Comp = (*Queue)(nil)

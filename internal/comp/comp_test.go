@@ -1,0 +1,180 @@
+package comp_test
+
+import (
+	"sync"
+	"testing"
+
+	"lci/internal/base"
+	"lci/internal/comp"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	c := comp.NewCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Signal(base.Status{})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	if c.Reset() != 8000 || c.Load() != 0 {
+		t.Fatal("Reset misbehaved")
+	}
+}
+
+func TestHandlerInvokes(t *testing.T) {
+	var got base.Status
+	h := comp.Handler(func(s base.Status) { got = s })
+	h.Signal(base.Status{Rank: 7, Tag: 9})
+	if got.Rank != 7 || got.Tag != 9 {
+		t.Fatalf("handler got %+v", got)
+	}
+}
+
+func TestSyncExpectMultiple(t *testing.T) {
+	s := comp.NewSync(3)
+	if s.Test() {
+		t.Fatal("fresh Sync ready")
+	}
+	s.Signal(base.Status{Tag: 1})
+	s.Signal(base.Status{Tag: 2})
+	if s.Test() {
+		t.Fatal("ready after 2 of 3")
+	}
+	s.Signal(base.Status{Tag: 3})
+	if !s.Test() {
+		t.Fatal("not ready after 3 of 3")
+	}
+	if len(s.Statuses()) != 3 {
+		t.Fatalf("statuses = %d", len(s.Statuses()))
+	}
+	s.Reset()
+	if s.Test() {
+		t.Fatal("ready after Reset")
+	}
+}
+
+func TestSyncOverSignalPanics(t *testing.T) {
+	s := comp.NewSync(1)
+	s.Signal(base.Status{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Signal(base.Status{})
+}
+
+func TestQueueUnboundedOrderAndLen(t *testing.T) {
+	q := comp.NewQueue()
+	for i := 0; i < 100; i++ {
+		q.Signal(base.Status{Tag: i})
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		st, ok := q.Pop()
+		if !ok || st.Tag != i {
+			t.Fatalf("Pop %d = %v,%v", i, st.Tag, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestFixedQueueDropsWhenFull(t *testing.T) {
+	q := comp.NewFixedQueue(4)
+	for i := 0; i < 6; i++ {
+		q.Signal(base.Status{Tag: i})
+	}
+	if q.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", q.Dropped())
+	}
+}
+
+func TestGraphLinearChain(t *testing.T) {
+	g := comp.NewGraph()
+	var order []int
+	n1 := g.AddFunc(func() { order = append(order, 1) })
+	n2 := g.AddFunc(func() { order = append(order, 2) })
+	n3 := g.AddFunc(func() { order = append(order, 3) })
+	g.AddEdge(n1, n2)
+	g.AddEdge(n2, n3)
+	g.Start()
+	if !g.Test() {
+		t.Fatal("chain incomplete")
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGraphDiamondAndOpNodes(t *testing.T) {
+	g := comp.NewGraph()
+	var sum int
+	root := g.AddFunc(func() { sum += 1 })
+	var leftComp base.Comp
+	left := g.AddOp(func(c base.Comp) base.Status {
+		leftComp = c // completes later, via Signal
+		return base.Status{State: base.Posted}
+	})
+	right := g.AddFunc(func() { sum += 10 })
+	join := g.AddFunc(func() { sum += 100 })
+	g.AddEdge(root, left)
+	g.AddEdge(root, right)
+	g.AddEdge(left, join)
+	g.AddEdge(right, join)
+	g.Start()
+	if g.Test() {
+		t.Fatal("graph complete before async op signaled")
+	}
+	leftComp.Signal(base.Status{})
+	if !g.Test() {
+		t.Fatal("graph incomplete after signal")
+	}
+	if sum != 111 {
+		t.Fatalf("sum = %d, want 111", sum)
+	}
+}
+
+func TestGraphRetryRearm(t *testing.T) {
+	g := comp.NewGraph()
+	tries := 0
+	g.AddOp(func(c base.Comp) base.Status {
+		tries++
+		if tries < 3 {
+			return base.Status{State: base.Retry}
+		}
+		return base.Status{State: base.Done}
+	})
+	g.Start()
+	for i := 0; i < 5 && !g.Test(); i++ {
+	}
+	if !g.Test() {
+		t.Fatal("retry op never completed")
+	}
+	if tries != 3 {
+		t.Fatalf("tries = %d, want 3", tries)
+	}
+}
+
+func TestGraphMutationAfterStartPanics(t *testing.T) {
+	g := comp.NewGraph()
+	g.AddFunc(nil)
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddFunc(nil)
+}

@@ -1,0 +1,163 @@
+package comp
+
+import (
+	"sync/atomic"
+
+	"lci/internal/base"
+	"lci/internal/mpmc"
+	"lci/internal/spin"
+)
+
+// Graph is the completion graph (§4.2.6): a DAG of operations with a
+// partial execution order, conceptually similar to CUDA Graphs. If node u
+// precedes node v, v starts only after u completes. Nodes are either plain
+// functions (complete when they return) or communication operations
+// (complete when their completion object is signaled; a Retry outcome
+// re-arms the node and it is re-fired from Test/Drain).
+//
+// Every node tracks its remaining-parent count with an atomic counter
+// (§5.1.4); a node whose count reaches zero is fired immediately by
+// whichever thread performed the final decrement.
+type Graph struct {
+	buildMu spin.Mutex
+	nodes   []*graphNode
+	started atomic.Bool
+	pending atomic.Int64 // nodes not yet complete
+	retries *mpmc.Queue[*graphNode]
+}
+
+// NodeID names a node within its graph.
+type NodeID int
+
+type graphNode struct {
+	g        *Graph
+	id       NodeID
+	fn       func()                        // plain function node (nil for op nodes)
+	op       func(c base.Comp) base.Status // op node poster
+	deps     atomic.Int32
+	initDeps int32
+	children []NodeID
+	done     atomic.Bool
+}
+
+// Signal implements base.Comp for op nodes: the runtime signals the node
+// when its posted communication completes.
+func (n *graphNode) Signal(base.Status) { n.g.complete(n) }
+
+// NewGraph returns an empty completion graph.
+func NewGraph() *Graph {
+	return &Graph{retries: mpmc.NewQueue[*graphNode](64)}
+}
+
+// AddFunc adds a node that completes when f returns. f may be nil (an
+// empty node, useful as a join point).
+func (g *Graph) AddFunc(f func()) NodeID {
+	return g.add(&graphNode{fn: f})
+}
+
+// AddOp adds a communication node. post must initiate the operation using
+// the supplied completion object and return the posting status:
+//
+//   - Done: the node completes immediately;
+//   - Posted: the node completes when the completion object is signaled;
+//   - Retry: the node is re-armed; the next Test or Drain call re-fires it.
+func (g *Graph) AddOp(post func(c base.Comp) base.Status) NodeID {
+	return g.add(&graphNode{op: post})
+}
+
+func (g *Graph) add(n *graphNode) NodeID {
+	if g.started.Load() {
+		panic("comp: Graph mutated after Start")
+	}
+	g.buildMu.Lock()
+	n.g = g
+	n.id = NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.buildMu.Unlock()
+	g.pending.Add(1)
+	return n.id
+}
+
+// AddEdge declares that node u must complete before node v starts.
+func (g *Graph) AddEdge(u, v NodeID) {
+	if g.started.Load() {
+		panic("comp: Graph mutated after Start")
+	}
+	g.buildMu.Lock()
+	g.nodes[u].children = append(g.nodes[u].children, v)
+	g.nodes[v].initDeps++
+	g.nodes[v].deps.Add(1)
+	g.buildMu.Unlock()
+}
+
+// Start fires all root nodes (nodes with no predecessors). It may be
+// called once.
+func (g *Graph) Start() {
+	if g.started.Swap(true) {
+		panic("comp: Graph started twice")
+	}
+	for _, n := range g.nodes {
+		if n.initDeps == 0 {
+			g.fire(n)
+		}
+	}
+}
+
+func (g *Graph) fire(n *graphNode) {
+	if n.fn != nil || (n.fn == nil && n.op == nil) {
+		if n.fn != nil {
+			n.fn()
+		}
+		g.complete(n)
+		return
+	}
+	st := n.op(n)
+	switch {
+	case st.IsDone():
+		g.complete(n)
+	case st.IsRetry():
+		g.retries.Enqueue(n)
+	default:
+		// posted: completion arrives via Signal
+	}
+}
+
+func (g *Graph) complete(n *graphNode) {
+	if n.done.Swap(true) {
+		panic("comp: graph node completed twice")
+	}
+	g.pending.Add(-1)
+	for _, c := range n.children {
+		child := g.nodes[c]
+		if child.deps.Add(-1) == 0 {
+			g.fire(child)
+		}
+	}
+}
+
+// Drain re-fires nodes whose operations previously returned Retry. Call it
+// from the application's progress loop.
+func (g *Graph) Drain() {
+	for {
+		n, ok := g.retries.Dequeue()
+		if !ok {
+			return
+		}
+		g.fire(n)
+	}
+}
+
+// Test drains retries and reports whether every node has completed.
+func (g *Graph) Test() bool {
+	g.Drain()
+	return g.pending.Load() == 0
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int {
+	g.buildMu.Lock()
+	defer g.buildMu.Unlock()
+	return len(g.nodes)
+}
+
+var _ base.Comp = (*graphNode)(nil)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lci/internal/base"
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+	"lci/internal/network"
+)
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	f := func(kind uint8, policy uint8, engine uint16, tag int32, rcomp uint32, size uint32, token, rkey uint64) bool {
+		h := header{
+			kind:   msgKind(kind),
+			policy: base.MatchingPolicy(policy),
+			engine: engine,
+			tag:    tag,
+			rcomp:  base.RComp(rcomp),
+			size:   size,
+			token:  token,
+			rkey:   rkey,
+		}
+		var buf [headerSize]byte
+		h.encode(buf[:])
+		return decodeHeader(buf[:]) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmEncoding(t *testing.T) {
+	f := func(rc uint32, tag int32) bool {
+		rc &= 0x7fffffff
+		imm := encodePutImm(base.RComp(rc), int(tag))
+		if isRdvImm(imm) {
+			return false
+		}
+		gotRC, gotTag := decodePutImm(imm)
+		return gotRC == base.RComp(rc) && gotTag == int(tag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !isRdvImm(encodeRdvImm(42)) {
+		t.Fatal("rendezvous imm not flagged")
+	}
+	if isRdvImm(encodePutImm(1, 2)) {
+		t.Fatal("put imm flagged as rendezvous")
+	}
+}
+
+func TestTokenTable(t *testing.T) {
+	var tt tokenTable
+	a := tt.alloc("a")
+	b := tt.alloc("b")
+	if a == b {
+		t.Fatal("duplicate tokens")
+	}
+	if tt.get(a) != "a" || tt.get(b) != "b" {
+		t.Fatal("lookup failed")
+	}
+	if tt.inUse() != 2 {
+		t.Fatalf("inUse = %d", tt.inUse())
+	}
+	if tt.release(a) != "a" {
+		t.Fatal("release returned wrong value")
+	}
+	if tt.get(a) != nil {
+		t.Fatal("released token still resolves")
+	}
+	// Freed slots are reused.
+	c := tt.alloc("c")
+	if c != a {
+		t.Fatalf("freed token not reused: got %d want %d", c, a)
+	}
+}
+
+func newTestRuntime(t *testing.T, n int) []*Runtime {
+	t.Helper()
+	fab := fabric.New(fabric.Config{NumRanks: n})
+	be := network.NewIBV(ibv.Config{SendOverheadNs: 1, RecvOverheadNs: 1})
+	rts := make([]*Runtime, n)
+	for r := 0; r < n; r++ {
+		rt, err := NewRuntime(be, fab, r, Config{PacketsPerWorker: 8, PreRecvs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[r] = rt
+	}
+	return rts
+}
+
+// TestPacketStarvationYieldsRetry: with a tiny packet quota, posting many
+// sends without progressing must eventually surface RetryPacketPool or
+// RetryTxFull — the paper's in-band retry (§4.2.5) — not block or fail.
+func TestPacketStarvationYieldsRetry(t *testing.T) {
+	rts := newTestRuntime(t, 2)
+	defer rts[0].Close()
+	defer rts[1].Close()
+	sawRetry := false
+	buf := make([]byte, 1024) // buffer-copy eager (needs a packet)
+	for i := 0; i < 10_000 && !sawRetry; i++ {
+		st, err := rts[0].PostSend(1, buf, 1, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IsRetry() {
+			if st.Reason != base.RetryPacketPool && st.Reason != base.RetryTxFull {
+				t.Fatalf("unexpected retry reason %v", st.Reason)
+			}
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no retry after 10k unprogressed sends with an 8-packet quota")
+	}
+}
+
+func TestPostValidation(t *testing.T) {
+	rts := newTestRuntime(t, 2)
+	defer rts[0].Close()
+	defer rts[1].Close()
+	rt := rts[0]
+	if _, err := rt.PostSend(5, []byte("x"), 0, nil, Options{}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := rt.PostRecv(1, []byte("x"), 0, nil, Options{}); err == nil {
+		t.Error("recv with nil completion accepted")
+	}
+	if _, err := rt.PostAM(1, []byte("x"), 0, nil, Options{}); err == nil {
+		t.Error("AM without rcomp accepted")
+	}
+	if _, err := rt.PostPut(1, []byte("x"), 0, nil, Options{}); err == nil {
+		t.Error("put without remote buffer accepted")
+	}
+	big := make([]byte, rt.Config().MaxMessageSize+1)
+	if _, err := rt.PostSend(1, big, 0, nil, Options{}); err == nil {
+		t.Error("oversize message accepted")
+	}
+}
+
+func TestRCompRegistry(t *testing.T) {
+	rts := newTestRuntime(t, 1)
+	defer rts[0].Close()
+	rt := rts[0]
+	if rt.lookupRComp(0) != nil || rt.lookupRComp(99) != nil {
+		t.Fatal("invalid handles resolved")
+	}
+	c := base.Comp(nil)
+	_ = c
+	h1 := rt.RegisterRComp(noopComp{})
+	h2 := rt.RegisterRComp(noopComp{})
+	if h1 == h2 || h1 == base.InvalidRComp {
+		t.Fatalf("handles %v %v", h1, h2)
+	}
+	if rt.lookupRComp(h1) == nil {
+		t.Fatal("registered handle does not resolve")
+	}
+	rt.DeregisterRComp(h1)
+	if rt.lookupRComp(h1) != nil {
+		t.Fatal("deregistered handle still resolves")
+	}
+}
+
+type noopComp struct{}
+
+func (noopComp) Signal(base.Status) {}
+
+func TestDeviceBacklogDisallowRetry(t *testing.T) {
+	rts := newTestRuntime(t, 2)
+	defer rts[0].Close()
+	defer rts[1].Close()
+	// With DisallowRetry, starvation diverts to the backlog instead of
+	// bouncing a Retry to the caller.
+	buf := make([]byte, 1024)
+	posted := 0
+	for i := 0; i < 64; i++ {
+		st, err := rts[0].PostSend(1, buf, 1, noopComp{}, Options{DisallowRetry: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IsRetry() {
+			t.Fatal("Retry returned despite DisallowRetry")
+		}
+		posted++
+	}
+	if posted != 64 {
+		t.Fatalf("posted %d", posted)
+	}
+	// Progress both sides until the backlog drains.
+	for i := 0; i < 10_000 && rts[0].DefaultDevice().BacklogLen() > 0; i++ {
+		rts[0].DefaultDevice().Progress()
+		rts[1].DefaultDevice().Progress()
+	}
+	if got := rts[0].DefaultDevice().BacklogLen(); got != 0 {
+		t.Fatalf("backlog still has %d entries", got)
+	}
+}

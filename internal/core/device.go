@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"lci/internal/backlog"
+	"lci/internal/base"
+	"lci/internal/matching"
+	"lci/internal/netsim/fabric"
+	"lci/internal/network"
+	"lci/internal/packet"
+)
+
+// Device encapsulates a complete set of low-level network resources
+// (§4.2.3). Threads operating on different devices never interfere with
+// each other. A device carries its own backlog queue and a packet-pool
+// worker, and keeps the network supplied with pre-posted receives.
+type Device struct {
+	rt     *Runtime
+	net    network.Device
+	worker *packet.Worker
+	bq     *backlog.Queue
+	tokens tokenTable
+
+	// recvDeficit counts pre-posted receive slots that have been consumed
+	// (or never posted) and must be replenished by progress.
+	recvDeficit atomic.Int64
+
+	// stats
+	statProgress atomic.Int64
+	statComps    atomic.Int64
+}
+
+// NewDevice allocates a new device (alloc_device in the paper).
+func (rt *Runtime) NewDevice() (*Device, error) {
+	if rt.closed {
+		return nil, ErrClosed
+	}
+	nd, err := rt.netctx.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		rt:     rt,
+		net:    nd,
+		worker: rt.pool.RegisterWorker(),
+		bq:     backlog.New(),
+	}
+	d.recvDeficit.Store(int64(rt.cfg.PreRecvs))
+	d.replenish(d.worker)
+	return d, nil
+}
+
+// Index returns the device's endpoint index within its rank; symmetric
+// applications reach the peer's i-th device by posting on their own i-th
+// device.
+func (d *Device) Index() int { return d.net.Index() }
+
+// Runtime returns the owning runtime.
+func (d *Device) Runtime() *Runtime { return d.rt }
+
+// Close frees the device (free_device in the paper).
+func (d *Device) Close() error { return d.net.Close() }
+
+// BacklogLen reports the backlog queue length (diagnostics).
+func (d *Device) BacklogLen() int { return d.bq.Len() }
+
+// retryable reports whether err is a transient condition that the backlog
+// queue should keep retrying.
+func retryable(err error) bool {
+	return errors.Is(err, network.ErrRetry) || errors.Is(err, errNoPacket)
+}
+
+var errNoPacket = errors.New("lci: packet pool empty")
+
+// replenish posts packets as receive buffers until the deficit is zero, a
+// packet cannot be obtained, or the network refuses.
+func (d *Device) replenish(w *packet.Worker) {
+	for d.recvDeficit.Load() > 0 {
+		pkt := w.Get()
+		if pkt == nil {
+			return
+		}
+		if err := d.net.PostRecv(pkt.Data, pkt); err != nil {
+			w.Put(pkt)
+			return
+		}
+		d.recvDeficit.Add(-1)
+	}
+}
+
+// Progress makes progress on the device (§4.2.7): it drains the backlog
+// queue, replenishes pre-posted receives, polls the network completion
+// queue, and reacts to completions (reactions 3–8 of Figure 2). It returns
+// the number of network completions processed. Any thread may call
+// Progress on any device; concurrent polls are resolved by the try-lock
+// wrappers (one poller proceeds, others return immediately).
+func (d *Device) Progress() int {
+	return d.ProgressW(d.worker)
+}
+
+// compBatchPool recycles poll batches: the batch must not live in the
+// Device (concurrent pollers would race on it after the CQ try-lock is
+// released) and allocating 32 completion slots per progress call would
+// dominate the fast path.
+var compBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]network.Completion, 32)
+		return &b
+	},
+}
+
+// ProgressW is Progress with an explicit packet-pool worker, letting a
+// goroutine that registered its own worker keep packet traffic on its
+// local deque.
+func (d *Device) ProgressW(w *packet.Worker) int {
+	d.statProgress.Add(1)
+
+	// (3) retry postponed requests first, preserving their order.
+	if !d.bq.Empty() {
+		d.bq.Drain(retryable)
+	}
+
+	// (7) keep the device supplied with pre-posted receives.
+	if d.recvDeficit.Load() > 0 {
+		d.replenish(w)
+	}
+
+	// (4) poll the device for completed operations.
+	batch := compBatchPool.Get().(*[]network.Completion)
+	comps := *batch
+	n, err := d.net.PollCQ(comps)
+	if err != nil || n == 0 {
+		compBatchPool.Put(batch)
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		d.handleCompletion(&comps[i], w)
+		comps[i] = network.Completion{} // drop references for the GC
+	}
+	compBatchPool.Put(batch)
+	d.statComps.Add(int64(n))
+	return n
+}
+
+// handleCompletion reacts to one network completion.
+func (d *Device) handleCompletion(c *network.Completion, w *packet.Worker) {
+	switch c.Kind {
+	case fabric.TxDone:
+		if c.Ctx != nil {
+			if op, ok := c.Ctx.(*sendOp); ok && op.comp != nil {
+				// (6) signal the source-side completion object.
+				op.comp.Signal(op.st)
+			}
+		}
+	case fabric.RxSend:
+		pkt := c.Ctx.(*packet.Packet)
+		d.recvDeficit.Add(1)
+		d.handleRxPacket(pkt, c.Src, c.Len, w)
+	case fabric.RxWriteImm:
+		d.handleWriteImm(c.Src, c.Imm, c.Len)
+	case fabric.ReadDone:
+		if op, ok := c.Ctx.(*sendOp); ok && op.comp != nil {
+			op.comp.Signal(op.st)
+		}
+	}
+}
+
+// handleRxPacket dispatches an arrived packet by wire kind.
+func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.Worker) {
+	h := decodeHeader(pkt.Data)
+	payload := pkt.Data[headerSize:length]
+	switch h.kind {
+	case kEager:
+		// (5) insert the incoming send into the matching engine.
+		eng := d.rt.engineByID(h.engine)
+		key := matching.MakeKey(src, int(h.tag), h.policy)
+		arrival := &eagerArrival{pkt: pkt, src: src, tag: int(h.tag), size: int(h.size)}
+		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
+			rop := m.(*recvOp)
+			d.completeEagerRecv(rop, arrival, w)
+		}
+		// Unmatched: the packet stays parked in the engine until a recv
+		// arrives; it is recycled in completeEagerRecv.
+	case kEagerAM:
+		// (6) signal the registered remote completion object.
+		if comp := d.rt.lookupRComp(h.rcomp); comp != nil {
+			data := make([]byte, len(payload))
+			copy(data, payload)
+			comp.Signal(base.Status{
+				State: base.Done, Rank: src, Tag: int(h.tag),
+				Buffer: data, Size: len(data),
+			})
+		}
+		w.Put(pkt)
+	case kRTS:
+		eng := d.rt.engineByID(h.engine)
+		key := matching.MakeKey(src, int(h.tag), h.policy)
+		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token}
+		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
+			rop := m.(*recvOp)
+			d.startRTR(rop, arrival)
+		}
+		w.Put(pkt)
+	case kRTSAM:
+		// Rendezvous active message: allocate the delivery buffer now and
+		// invite the data.
+		buf := make([]byte, h.size)
+		d.respondRTR(src, h.token, buf, rdvState{
+			isAM: true, rcomp: h.rcomp, buf: buf, src: src, tag: int(h.tag),
+		})
+		w.Put(pkt)
+	case kRTR:
+		// (8, 10) continue the rendezvous protocol: write the payload into
+		// the receiver's registered buffer.
+		d.continueRendezvous(src, h)
+		w.Put(pkt)
+	default:
+		// Unknown kind: drop the packet. This would be a wire-corruption
+		// bug in a real system; tests assert it never happens.
+		w.Put(pkt)
+	}
+}
+
+// completeEagerRecv copies a matched eager arrival into the posted receive
+// buffer and signals its completion object.
+func (d *Device) completeEagerRecv(rop *recvOp, ea *eagerArrival, w *packet.Worker) {
+	n := copy(rop.buf, ea.pkt.Data[headerSize:headerSize+ea.size])
+	w.Put(ea.pkt)
+	rop.comp.Signal(base.Status{
+		State: base.Done, Rank: ea.src, Tag: ea.tag,
+		Buffer: rop.buf[:n], Size: n, Ctx: rop.ctx,
+	})
+}
+
+// startRTR reacts to a matched RTS: register the receive buffer and send
+// the RTR reply. Runs on the device the receive was posted to.
+func (d *Device) startRTR(rop *recvOp, rts *rtsArrival) {
+	size := rts.size
+	if size > len(rop.buf) {
+		size = len(rop.buf) // truncated receive, like MPI_ERR_TRUNCATE avoided by convention
+	}
+	d.respondRTR(rts.src, rts.token, rop.buf[:size], rdvState{
+		buf: rop.buf[:size], comp: rop.comp, ctx: rop.ctx, src: rts.src, tag: rts.tag,
+	})
+}
+
+// rdvState tracks one receiver-side rendezvous in flight.
+type rdvState struct {
+	isAM  bool
+	rcomp base.RComp // AM: target completion handle
+	comp  base.Comp  // send-recv: posted receive's completion object
+	ctx   any
+	buf   []byte
+	rkey  uint64
+	src   int
+	tag   int
+}
+
+// respondRTR registers buf, stores the rendezvous state and sends the RTR
+// control message. Failures are parked on the backlog queue — this path
+// runs inside the progress engine or a posting call that already matched,
+// so it cannot bounce a retry to the user (§5.1.5).
+func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState) {
+	rkey, err := d.net.RegisterMem(buf)
+	if err != nil {
+		// Registration try-locks never fail in the simulated providers;
+		// treat failure as fatal programming error.
+		panic("lci: RegisterMem failed: " + err.Error())
+	}
+	st.rkey = rkey
+	rtoken := d.tokens.alloc(&st)
+	hdr := header{
+		kind:  kRTR,
+		rcomp: base.RComp(rtoken),
+		size:  uint32(d.Index()),
+		token: senderToken,
+		rkey:  rkey,
+	}
+	d.sendControl(src, hdr)
+}
+
+// sendControl emits a header-only control message, diverting to the
+// backlog on transient failure.
+func (d *Device) sendControl(dst int, hdr header) {
+	try := func() error {
+		pkt := d.worker.Get()
+		if pkt == nil {
+			return errNoPacket
+		}
+		hdr.encode(pkt.Data)
+		err := d.net.PostSend(dst, d.Index(), uint32(hdr.kind), pkt.Data[:headerSize], nil)
+		d.worker.Put(pkt) // the fabric copied the bytes (or it failed); recycle either way
+		return err
+	}
+	if err := try(); err != nil {
+		if !retryable(err) {
+			panic("lci: control message failed: " + err.Error())
+		}
+		d.bq.Push(backlog.Op(try))
+	}
+}
+
+// continueRendezvous is the sender-side RTR reaction: RDMA-write the
+// payload into the receiver's buffer with the receiver token as immediate.
+func (d *Device) continueRendezvous(src int, h header) {
+	v := d.tokens.release(uint32(h.token))
+	if v == nil {
+		panic("lci: RTR for unknown send token")
+	}
+	ss := v.(*sendState)
+	rtoken := uint32(h.rcomp)
+	notifyDev := int(h.size)
+	var ctx any
+	if ss.comp != nil {
+		ctx = &sendOp{comp: ss.comp, st: ss.st}
+	}
+	try := func() error {
+		return d.net.PostWrite(src, notifyDev, h.rkey, 0, ss.buf,
+			encodeRdvImm(rtoken), true, ctx)
+	}
+	if err := try(); err != nil {
+		if !retryable(err) {
+			panic("lci: rendezvous write failed: " + err.Error())
+		}
+		d.bq.Push(backlog.Op(try))
+	}
+}
+
+// handleWriteImm reacts to an incoming RMA write with immediate: either
+// the completion of a rendezvous receive or a put-with-signal
+// notification.
+func (d *Device) handleWriteImm(src int, imm uint64, length int) {
+	if isRdvImm(imm) {
+		rtoken := uint32(imm)
+		v := d.tokens.release(rtoken)
+		if v == nil {
+			panic("lci: write-imm for unknown recv token")
+		}
+		st := v.(*rdvState)
+		if err := d.net.DeregisterMem(st.rkey); err != nil {
+			panic("lci: DeregisterMem failed: " + err.Error())
+		}
+		status := base.Status{
+			State: base.Done, Rank: st.src, Tag: st.tag,
+			Buffer: st.buf[:length], Size: length, Ctx: st.ctx,
+		}
+		if st.isAM {
+			if comp := d.rt.lookupRComp(st.rcomp); comp != nil {
+				comp.Signal(status)
+			}
+			return
+		}
+		st.comp.Signal(status)
+		return
+	}
+	// Put with signal: notify the registered remote completion object.
+	rc, tag := decodePutImm(imm)
+	if comp := d.rt.lookupRComp(rc); comp != nil {
+		comp.Signal(base.Status{
+			State: base.Done, Rank: src, Tag: tag, Size: length,
+		})
+	}
+}
+
+// engineByID resolves the wire engine id to a matching engine; id 0 is
+// the runtime default. Unknown ids fall back to the default engine, which
+// turns a mismatched-engine bug into an unmatched message rather than a
+// crash (tests assert engines are registered symmetrically).
+func (rt *Runtime) engineByID(id uint16) *matching.Engine {
+	if id == 0 {
+		return rt.defME
+	}
+	idx := int(id) - 1
+	if idx >= rt.engines.Len() {
+		return rt.defME
+	}
+	return rt.engines.Get(idx)
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+
+	"lci/internal/base"
+	"lci/internal/matching"
+	"lci/internal/network"
+	"lci/internal/packet"
+)
+
+// Options are the optional arguments of a communication posting operation.
+// The public package converts its functional options into this struct —
+// Go's equivalent of the paper's named-parameter idiom (§4.1).
+type Options struct {
+	// Device selects the posting device (default: the runtime default).
+	Device *Device
+	// Engine selects the matching engine (default: the runtime default).
+	Engine *MatchEngine
+	// Policy is the matching policy (§4.3.2).
+	Policy base.MatchingPolicy
+	// RComp names a remote completion object (turns a send into an active
+	// message, or a put into a put-with-signal; Table 1).
+	RComp base.RComp
+	// Remote supplies the remote buffer for RMA operations (Table 1).
+	Remote *RemoteBuffer
+	// RemoteDevice hints which peer endpoint handles the operation
+	// (default: same index as the posting device).
+	RemoteDevice int
+	// Ctx is an opaque user context copied into completion statuses.
+	Ctx any
+	// Worker overrides the packet-pool worker (goroutines that registered
+	// their own worker pass it here for locality).
+	Worker *packet.Worker
+	// DisallowRetry diverts transient failures to the device's backlog
+	// queue instead of returning a Retry status; the operation then
+	// reports Posted (§5.4, reaction 2).
+	DisallowRetry bool
+}
+
+// RemoteBuffer names registered remote memory for RMA.
+type RemoteBuffer struct {
+	RKey   uint64
+	Offset uint64
+	Size   int // get: number of bytes to read
+}
+
+// sendOp carries the source-side completion through the network layer.
+type sendOp struct {
+	comp base.Comp
+	st   base.Status
+}
+
+// recvOp is a posted receive parked in the matching engine.
+type recvOp struct {
+	buf  []byte
+	comp base.Comp
+	ctx  any
+}
+
+// eagerArrival is an unexpected eager message parked in the matching
+// engine (it owns its packet until matched).
+type eagerArrival struct {
+	pkt  *packet.Packet
+	src  int
+	tag  int
+	size int
+}
+
+// rtsArrival is an unexpected rendezvous announcement parked in the
+// matching engine.
+type rtsArrival struct {
+	src   int
+	tag   int
+	size  int
+	token uint64
+}
+
+// sendState is an in-flight rendezvous send awaiting its RTR.
+type sendState struct {
+	buf  []byte
+	comp base.Comp
+	st   base.Status
+}
+
+func (o *Options) device(rt *Runtime) *Device {
+	if o.Device != nil {
+		return o.Device
+	}
+	return rt.defDev
+}
+
+func (o *Options) engine(rt *Runtime) (*matching.Engine, uint16) {
+	if o.Engine != nil {
+		return o.Engine.eng, o.Engine.id
+	}
+	return rt.defME, 0
+}
+
+func (o *Options) worker(d *Device) *packet.Worker {
+	if o.Worker != nil {
+		return o.Worker
+	}
+	return d.worker
+}
+
+func (o *Options) remoteDev(d *Device) int {
+	if o.RemoteDevice > 0 {
+		return o.RemoteDevice
+	}
+	return d.Index()
+}
+
+func retryStatus(reason base.RetryReason) base.Status {
+	return base.Status{State: base.Retry, Reason: reason}
+}
+
+func classifyRetry(err error) base.Status {
+	if err == errNoPacket {
+		return retryStatus(base.RetryPacketPool)
+	}
+	if err == network.ErrTxFull {
+		return retryStatus(base.RetryTxFull)
+	}
+	return retryStatus(base.RetryLockBusy)
+}
+
+// PostComm is the generic communication posting operation (§4.2.4,
+// Table 1). The direction plus the presence of a remote buffer and/or a
+// remote completion object select the paradigm.
+func (rt *Runtime) PostComm(dir base.Direction, rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	switch dir {
+	case base.Out:
+		switch {
+		case opts.Remote == nil && opts.RComp == base.InvalidRComp:
+			return rt.postSend(rank, buf, tag, comp, opts)
+		case opts.Remote == nil:
+			return rt.postAM(rank, buf, tag, comp, opts)
+		default:
+			return rt.postPut(rank, buf, tag, comp, opts)
+		}
+	case base.In:
+		switch {
+		case opts.Remote == nil && opts.RComp == base.InvalidRComp:
+			return rt.postRecv(rank, buf, tag, comp, opts)
+		case opts.Remote == nil:
+			// IN + remote completion without remote buffer is the one
+			// invalid combination in Table 1.
+			return base.Status{}, fmt.Errorf("%w: IN direction with a remote completion requires a remote buffer", ErrInvalidArgument)
+		case opts.RComp == base.InvalidRComp:
+			return rt.postGet(rank, buf, comp, opts)
+		default:
+			// Get with signal: valid per Table 1, unimplemented per §5.3
+			// (no RDMA-read-with-notification on the target interconnects).
+			return base.Status{}, fmt.Errorf("%w: get with signal is not implemented (no RDMA read with notification)", ErrInvalidArgument)
+		}
+	default:
+		return base.Status{}, fmt.Errorf("%w: direction %d", ErrInvalidArgument, dir)
+	}
+}
+
+// PostSend posts a two-sided send.
+func (rt *Runtime) PostSend(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	return rt.postSend(rank, buf, tag, comp, opts)
+}
+
+// PostRecv posts a two-sided receive.
+func (rt *Runtime) PostRecv(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	return rt.postRecv(rank, buf, tag, comp, opts)
+}
+
+// PostAM posts an active message; opts.RComp names the target completion.
+func (rt *Runtime) PostAM(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if opts.RComp == base.InvalidRComp {
+		return base.Status{}, fmt.Errorf("%w: active message requires a remote completion handle", ErrInvalidArgument)
+	}
+	return rt.postAM(rank, buf, tag, comp, opts)
+}
+
+// PostPut posts an RMA put; opts.Remote names the target buffer and an
+// optional opts.RComp adds the signal.
+func (rt *Runtime) PostPut(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if opts.Remote == nil {
+		return base.Status{}, fmt.Errorf("%w: put requires a remote buffer", ErrInvalidArgument)
+	}
+	return rt.postPut(rank, buf, tag, comp, opts)
+}
+
+// PostGet posts an RMA get; opts.Remote names the source buffer.
+func (rt *Runtime) PostGet(rank int, buf []byte, comp base.Comp, opts Options) (base.Status, error) {
+	if opts.Remote == nil {
+		return base.Status{}, fmt.Errorf("%w: get requires a remote buffer", ErrInvalidArgument)
+	}
+	return rt.postGet(rank, buf, comp, opts)
+}
+
+func (rt *Runtime) checkCommon(rank int, buf []byte) error {
+	if rt.closed {
+		return ErrClosed
+	}
+	if rank < 0 || rank >= rt.nranks {
+		return fmt.Errorf("%w: rank %d out of range [0,%d)", ErrInvalidArgument, rank, rt.nranks)
+	}
+	if len(buf) > rt.cfg.MaxMessageSize {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, len(buf), rt.cfg.MaxMessageSize)
+	}
+	return nil
+}
+
+// postEager runs the shared eager path for sends and AMs. It returns the
+// final status.
+func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, opts Options, d *Device) (base.Status, error) {
+	w := opts.worker(d)
+	attempt := func(bounce bool) error {
+		pkt := w.Get()
+		if pkt == nil {
+			return errNoPacket
+		}
+		hdr.encode(pkt.Data)
+		n := copy(pkt.Data[headerSize:], buf)
+		var ctx any
+		if comp != nil && len(buf) > rt.cfg.InjectSize {
+			ctx = &sendOp{comp: comp, st: base.Status{
+				State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
+			}}
+		}
+		err := d.net.PostSend(rank, opts.remoteDev(d), uint32(hdr.kind), pkt.Data[:headerSize+n], ctx)
+		// The fabric copies synchronously, so the packet recycles
+		// immediately whether the post succeeded or failed.
+		w.Put(pkt)
+		return err
+	}
+	err := attempt(false)
+	if err == nil {
+		if len(buf) <= rt.cfg.InjectSize {
+			// Inject: immediate completion, completion object NOT signaled.
+			return base.Status{
+				State: base.Done, Rank: rank, Tag: int(hdr.tag),
+				Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
+			}, nil
+		}
+		return base.Status{State: base.Posted}, nil
+	}
+	if !retryable(err) {
+		return base.Status{}, err
+	}
+	if opts.DisallowRetry {
+		// Reaction (2): park the whole attempt on the backlog queue. The
+		// inject fast-completion is unavailable on this path; the
+		// completion object is signaled even for small messages.
+		inner := hdr
+		innerComp := comp
+		d.bq.Push(func() error {
+			pkt := w.Get()
+			if pkt == nil {
+				return errNoPacket
+			}
+			inner.encode(pkt.Data)
+			n := copy(pkt.Data[headerSize:], buf)
+			var ctx any
+			if innerComp != nil {
+				ctx = &sendOp{comp: innerComp, st: base.Status{
+					State: base.Done, Rank: rank, Tag: int(inner.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
+				}}
+			}
+			e := d.net.PostSend(rank, opts.remoteDev(d), uint32(inner.kind), pkt.Data[:headerSize+n], ctx)
+			w.Put(pkt)
+			return e
+		})
+		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
+	}
+	return classifyRetry(err), nil
+}
+
+// postRendezvous runs the shared rendezvous announcement for large sends
+// and AMs.
+func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Comp, opts Options, d *Device) (base.Status, error) {
+	ss := &sendState{buf: buf, comp: comp, st: base.Status{
+		State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
+	}}
+	token := d.tokens.alloc(ss)
+	hdr.token = uint64(token)
+	hdr.size = uint32(len(buf))
+
+	w := opts.worker(d)
+	attempt := func() error {
+		pkt := w.Get()
+		if pkt == nil {
+			return errNoPacket
+		}
+		hdr.encode(pkt.Data)
+		err := d.net.PostSend(rank, opts.remoteDev(d), uint32(hdr.kind), pkt.Data[:headerSize], nil)
+		w.Put(pkt)
+		return err
+	}
+	err := attempt()
+	if err == nil {
+		return base.Status{State: base.Posted}, nil
+	}
+	if !retryable(err) {
+		d.tokens.release(token)
+		return base.Status{}, err
+	}
+	if opts.DisallowRetry {
+		d.bq.Push(attempt)
+		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
+	}
+	d.tokens.release(token)
+	return classifyRetry(err), nil
+}
+
+func (rt *Runtime) postSend(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if err := rt.checkCommon(rank, buf); err != nil {
+		return base.Status{}, err
+	}
+	d := opts.device(rt)
+	_, engID := opts.engine(rt)
+	hdr := header{policy: opts.Policy, engine: engID, tag: int32(tag), size: uint32(len(buf))}
+	if len(buf) <= rt.MaxEager() {
+		hdr.kind = kEager
+		return rt.postEager(rank, buf, hdr, comp, opts, d)
+	}
+	hdr.kind = kRTS
+	return rt.postRendezvous(rank, buf, hdr, comp, opts, d)
+}
+
+func (rt *Runtime) postAM(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if err := rt.checkCommon(rank, buf); err != nil {
+		return base.Status{}, err
+	}
+	d := opts.device(rt)
+	hdr := header{tag: int32(tag), rcomp: opts.RComp, size: uint32(len(buf))}
+	if len(buf) <= rt.MaxEager() {
+		hdr.kind = kEagerAM
+		return rt.postEager(rank, buf, hdr, comp, opts, d)
+	}
+	hdr.kind = kRTSAM
+	return rt.postRendezvous(rank, buf, hdr, comp, opts, d)
+}
+
+func (rt *Runtime) postRecv(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if err := rt.checkCommon(rank, buf); err != nil {
+		return base.Status{}, err
+	}
+	if comp == nil {
+		return base.Status{}, fmt.Errorf("%w: receive requires a completion object", ErrInvalidArgument)
+	}
+	d := opts.device(rt)
+	eng, _ := opts.engine(rt)
+	key := matching.MakeKey(rank, tag, opts.Policy)
+	rop := &recvOp{buf: buf, comp: comp, ctx: opts.Ctx}
+
+	m, ok := eng.Insert(key, matching.Recv, rop)
+	if !ok {
+		// (1) parked in the matching engine awaiting the send.
+		return base.Status{State: base.Posted}, nil
+	}
+	switch arr := m.(type) {
+	case *eagerArrival:
+		// (9) matched an unexpected eager message: complete immediately.
+		n := copy(buf, arr.pkt.Data[headerSize:headerSize+arr.size])
+		opts.worker(d).Put(arr.pkt)
+		return base.Status{
+			State: base.Done, Rank: arr.src, Tag: arr.tag,
+			Buffer: buf[:n], Size: n, Ctx: opts.Ctx,
+		}, nil
+	case *rtsArrival:
+		// (10) matched a rendezvous announcement: reply with RTR; the
+		// receive completes when the data lands.
+		d.startRTR(rop, arr)
+		return base.Status{State: base.Posted}, nil
+	default:
+		panic("lci: unexpected match type")
+	}
+}
+
+func (rt *Runtime) postPut(rank int, buf []byte, tag int, comp base.Comp, opts Options) (base.Status, error) {
+	if err := rt.checkCommon(rank, buf); err != nil {
+		return base.Status{}, err
+	}
+	d := opts.device(rt)
+	var imm uint64
+	hasImm := false
+	if opts.RComp != base.InvalidRComp {
+		imm = encodePutImm(opts.RComp, tag)
+		hasImm = true
+	}
+	var ctx any
+	if comp != nil {
+		ctx = &sendOp{comp: comp, st: base.Status{
+			State: base.Done, Rank: rank, Tag: tag, Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
+		}}
+	}
+	attempt := func() error {
+		return d.net.PostWrite(rank, opts.remoteDev(d), opts.Remote.RKey, opts.Remote.Offset, buf, imm, hasImm, ctx)
+	}
+	err := attempt()
+	if err == nil {
+		return base.Status{State: base.Posted}, nil
+	}
+	if !retryable(err) {
+		return base.Status{}, err
+	}
+	if opts.DisallowRetry {
+		d.bq.Push(attempt)
+		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
+	}
+	return classifyRetry(err), nil
+}
+
+func (rt *Runtime) postGet(rank int, buf []byte, comp base.Comp, opts Options) (base.Status, error) {
+	if err := rt.checkCommon(rank, buf); err != nil {
+		return base.Status{}, err
+	}
+	d := opts.device(rt)
+	into := buf
+	if opts.Remote.Size > 0 && opts.Remote.Size < len(into) {
+		into = into[:opts.Remote.Size]
+	}
+	var ctx any
+	if comp != nil {
+		ctx = &sendOp{comp: comp, st: base.Status{
+			State: base.Done, Rank: rank, Buffer: into, Size: len(into), Ctx: opts.Ctx,
+		}}
+	}
+	attempt := func() error {
+		return d.net.PostRead(rank, opts.Remote.RKey, opts.Remote.Offset, into, ctx)
+	}
+	err := attempt()
+	if err == nil {
+		return base.Status{State: base.Posted}, nil
+	}
+	if !retryable(err) {
+		return base.Status{}, err
+	}
+	if opts.DisallowRetry {
+		d.bq.Push(attempt)
+		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
+	}
+	return classifyRetry(err), nil
+}
+
+// RegisterMemory registers buf on the device for remote access and
+// returns its rkey (§4.3.1). Registration is optional for local buffers
+// and mandatory for remote buffers.
+func (rt *Runtime) RegisterMemory(d *Device, buf []byte) (uint64, error) {
+	if d == nil {
+		d = rt.defDev
+	}
+	return d.net.RegisterMem(buf)
+}
+
+// DeregisterMemory removes a registration.
+func (rt *Runtime) DeregisterMemory(d *Device, rkey uint64) error {
+	if d == nil {
+		d = rt.defDev
+	}
+	return d.net.DeregisterMem(rkey)
+}

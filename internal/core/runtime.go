@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lci/internal/base"
+	"lci/internal/comp"
+	"lci/internal/matching"
+	"lci/internal/mpmc"
+	"lci/internal/netsim/fabric"
+	"lci/internal/network"
+	"lci/internal/packet"
+)
+
+// Errors reported by posting operations. Temporary conditions are NOT
+// errors — they come back as Retry statuses (§4.2.5); these errors are
+// programming mistakes.
+var (
+	ErrInvalidArgument = errors.New("lci: invalid argument")
+	ErrTooLarge        = errors.New("lci: message exceeds the maximum size")
+	ErrClosed          = errors.New("lci: runtime is closed")
+)
+
+// Config configures a runtime. The zero value of every field selects the
+// default.
+type Config struct {
+	// PacketSize is the packet-pool buffer size; it bounds the eager
+	// protocol at PacketSize-32 bytes of payload (default 8192).
+	PacketSize int
+	// InjectSize is the largest message completing immediately at the
+	// sender (default 64).
+	InjectSize int
+	// PreRecvs is the number of pre-posted receives kept per device
+	// (default 128).
+	PreRecvs int
+	// PacketsPerWorker is each registered worker's packet quota
+	// (default 1024).
+	PacketsPerWorker int
+	// MatchBuckets is the default matching engine's bucket count. The
+	// paper's C++ implementation defaults to 65536; the simulation
+	// defaults to 4096 because a benchmark process hosts many runtimes
+	// (one per simulated rank).
+	MatchBuckets int
+	// MaxMessageSize bounds a single message (default 1 GiB).
+	MaxMessageSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PacketSize <= 0 {
+		c.PacketSize = packet.DefaultPacketSize
+	}
+	if c.InjectSize <= 0 {
+		c.InjectSize = 64
+	}
+	if c.PreRecvs <= 0 {
+		c.PreRecvs = 128
+	}
+	if c.PacketsPerWorker <= 0 {
+		c.PacketsPerWorker = packet.DefaultPacketsPerWorker
+	}
+	if c.MatchBuckets <= 0 {
+		c.MatchBuckets = 4096
+	}
+	if c.MaxMessageSize <= 0 {
+		c.MaxMessageSize = 1 << 30
+	}
+	if c.PacketSize < headerSize+c.InjectSize {
+		panic("core: PacketSize must be at least headerSize+InjectSize")
+	}
+	return c
+}
+
+// Runtime is one rank's LCI runtime instance: default configuration plus
+// the communication resources (§4.2.2). Multiple runtimes can exist in one
+// process (library composition; and the simulation hosts every rank in one
+// process).
+type Runtime struct {
+	cfg    Config
+	netctx network.Context
+	pool   *packet.Pool
+	defME   *matching.Engine
+	engines *mpmc.Array[*matching.Engine]
+	defDev  *Device
+	rcomps  *mpmc.Array[base.Comp]
+	rank   int
+	nranks int
+	closed bool
+}
+
+// NewRuntime builds a runtime for rank over the given backend and fabric.
+func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	netctx, err := backend.NewContext(fab, rank)
+	if err != nil {
+		return nil, fmt.Errorf("lci: opening backend %s: %w", backend.Name(), err)
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		netctx:  netctx,
+		pool:    packet.NewPool(cfg.PacketSize, cfg.PacketsPerWorker),
+		defME:   matching.New(cfg.MatchBuckets),
+		engines: mpmc.NewArray[*matching.Engine](4),
+		rcomps:  mpmc.NewArray[base.Comp](8),
+		rank:    rank,
+		nranks:  netctx.NumRanks(),
+	}
+	rt.defDev, err = rt.NewDevice()
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Rank returns this runtime's rank.
+func (rt *Runtime) Rank() int { return rt.rank }
+
+// NumRanks returns the number of ranks.
+func (rt *Runtime) NumRanks() int { return rt.nranks }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// DefaultDevice returns the device created with the runtime.
+func (rt *Runtime) DefaultDevice() *Device { return rt.defDev }
+
+// DefaultMatchingEngine returns the runtime's default matching engine.
+func (rt *Runtime) DefaultMatchingEngine() *matching.Engine { return rt.defME }
+
+// MatchEngine is an allocated matching engine plus its wire id, so both
+// sides of a communication can name the same engine (§4.2.3).
+type MatchEngine struct {
+	eng *matching.Engine
+	id  uint16
+}
+
+// ID returns the engine's wire identifier.
+func (m *MatchEngine) ID() uint16 { return m.id }
+
+// Raw exposes the underlying engine (for the resource microbenchmarks).
+func (m *MatchEngine) Raw() *matching.Engine { return m.eng }
+
+// NewMatchingEngine allocates a matching engine with the given bucket
+// count (0 selects the configured default). Engines must be allocated in
+// the same order on all ranks that exchange messages through them, like
+// every LCI resource exchanged by handle.
+func (rt *Runtime) NewMatchingEngine(buckets int) *MatchEngine {
+	if buckets <= 0 {
+		buckets = rt.cfg.MatchBuckets
+	}
+	eng := matching.New(buckets)
+	idx := rt.engines.Append(eng)
+	return &MatchEngine{eng: eng, id: uint16(idx + 1)}
+}
+
+// RegisterWorker registers a packet-pool worker for the calling goroutine.
+func (rt *Runtime) RegisterWorker() *packet.Worker { return rt.pool.RegisterWorker() }
+
+// Pool returns the runtime's packet pool.
+func (rt *Runtime) Pool() *packet.Pool { return rt.pool }
+
+// RegisterRComp registers c and returns a remote completion handle other
+// ranks can address (§4.2.3). Handles are never reused.
+func (rt *Runtime) RegisterRComp(c base.Comp) base.RComp {
+	idx := rt.rcomps.Append(c)
+	return base.RComp(idx + 1)
+}
+
+// DeregisterRComp clears a handle; later signals to it are dropped.
+func (rt *Runtime) DeregisterRComp(rc base.RComp) {
+	if rc == base.InvalidRComp {
+		return
+	}
+	rt.rcomps.Set(int(rc)-1, nil)
+}
+
+// lookupRComp resolves a handle (lock-free, hot path).
+func (rt *Runtime) lookupRComp(rc base.RComp) base.Comp {
+	idx := int(rc) - 1
+	if idx < 0 || idx >= rt.rcomps.Len() {
+		return nil
+	}
+	return rt.rcomps.Get(idx)
+}
+
+// NewCQ allocates an unbounded (LCRQ-style) completion queue.
+func (rt *Runtime) NewCQ() *comp.Queue { return comp.NewQueue() }
+
+// NewFixedCQ allocates a bounded fetch-and-add-array completion queue.
+func (rt *Runtime) NewFixedCQ(capacity int) *comp.Queue { return comp.NewFixedQueue(capacity) }
+
+// Close shuts the runtime down. Outstanding communications are abandoned.
+func (rt *Runtime) Close() error {
+	if rt.closed {
+		return nil
+	}
+	rt.closed = true
+	return rt.netctx.Close()
+}
+
+// MaxEager returns the largest payload the eager protocol can carry.
+func (rt *Runtime) MaxEager() int { return rt.cfg.PacketSize - headerSize }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"lci/internal/spin"
+)
+
+// tokenTable is a spinlocked slab translating small integer tokens to
+// in-flight rendezvous state. Tokens ride in wire headers and RMA
+// immediates. Rendezvous rates are orders of magnitude below eager rates,
+// so a single lock per device is not a bottleneck; the table exists so
+// wire messages never carry Go pointers.
+type tokenTable struct {
+	mu    spin.Mutex
+	slots []any
+	free  []uint32
+}
+
+// alloc stores v and returns its token.
+func (t *tokenTable) alloc(v any) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.free); n > 0 {
+		tok := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[tok] = v
+		return tok
+	}
+	t.slots = append(t.slots, v)
+	return uint32(len(t.slots) - 1)
+}
+
+// get returns the value stored under tok.
+func (t *tokenTable) get(tok uint32) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(tok) >= len(t.slots) {
+		return nil
+	}
+	return t.slots[tok]
+}
+
+// release frees tok and returns its former value.
+func (t *tokenTable) release(tok uint32) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(tok) >= len(t.slots) {
+		return nil
+	}
+	v := t.slots[tok]
+	t.slots[tok] = nil
+	t.free = append(t.free, tok)
+	return v
+}
+
+// inUse counts live tokens (diagnostics).
+func (t *tokenTable) inUse() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots) - len(t.free)
+}

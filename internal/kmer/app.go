@@ -1,0 +1,390 @@
+package kmer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lci/internal/rpc"
+	"lci/internal/spin"
+)
+
+// Message kinds on the wire.
+const (
+	kindBatch1  = 1 + iota // pass-1 k-mer batch (Bloom inserts)
+	kindBatch2             // pass-2 k-mer batch (map counting)
+	kindDone1              // pass-1 completion: total k-mers sent to you
+	kindDone2              // pass-2 completion
+	kindBarrier            // inter-pass barrier token
+)
+
+const kmerBytes = 16
+
+// Config parameterizes one mini-app run.
+type Config struct {
+	Reads   ReadsConfig
+	K       int // k-mer length (paper: 51)
+	Threads int // worker threads per rank
+	// AggBytes is the per-destination aggregation buffer size (paper:
+	// 8 KB per destination).
+	AggBytes int
+	// BloomBitsPerKmer sizes the per-rank Bloom filter (default 12 bits
+	// per expected k-mer, ~4 hash probes).
+	BloomBitsPerKmer int
+	// DedicatedProgress reserves one of the threads purely for serving
+	// incoming batches (the paper's "GASNet-EX (p1)" configuration).
+	DedicatedProgress bool
+}
+
+// DefaultConfig returns a laptop-scale configuration (k=51 like the
+// paper).
+func DefaultConfig() Config {
+	return Config{
+		Reads:            DefaultReadsConfig(),
+		K:                51,
+		Threads:          4,
+		AggBytes:         8192,
+		BloomBitsPerKmer: 12,
+	}
+}
+
+// Result summarizes one rank's run.
+type Result struct {
+	Elapsed    time.Duration
+	Histogram  map[int64]int64 // occurrence count -> number of distinct k-mers (this rank's share)
+	Distinct   int64           // distinct k-mers counted at this rank
+	Total      int64           // total k-mer instances processed (local + received)
+	StashLen   int             // cuckoo overflow entries (diagnostic)
+	BloomFPish int64           // k-mers counted exactly once (Bloom false-positive proxy)
+}
+
+type aggBuf struct {
+	mu  spin.Mutex
+	buf []byte
+	n   int
+	_   spin.Pad
+}
+
+type app struct {
+	cfg   Config
+	tr    rpc.Transport
+	rank  int
+	n     int
+	reads [][]byte
+
+	bloom *Bloom
+	cmap  *CountMap
+
+	aggs []*aggBuf // per destination rank
+
+	pass      atomic.Int32
+	recvCount [2]atomic.Int64 // k-mers received per pass
+	expected  [2]atomic.Int64 // k-mers peers announced per pass
+	dones     [2]atomic.Int32 // done messages per pass
+	barriers  atomic.Int32    // barrier tokens received (cumulative)
+	sentTo    []atomic.Int64  // per-dest counts for the current pass
+	total     atomic.Int64
+}
+
+// Run executes the two-pass k-mer counting pipeline on this rank. All
+// ranks must call Run with identical configurations; Run returns after
+// the global pipeline completes.
+func Run(tr rpc.Transport, cfg Config) (Result, error) {
+	if cfg.K < 1 || cfg.K > MaxK {
+		return Result{}, fmt.Errorf("kmer: k=%d out of range [1,%d]", cfg.K, MaxK)
+	}
+	if cfg.Threads < 1 {
+		return Result{}, fmt.Errorf("kmer: need at least one thread")
+	}
+	if cfg.AggBytes <= kmerBytes+8 {
+		cfg.AggBytes = 8192
+	}
+	if cfg.BloomBitsPerKmer <= 0 {
+		cfg.BloomBitsPerKmer = 12
+	}
+
+	a := &app{cfg: cfg, tr: tr, rank: tr.Rank(), n: tr.NumRanks()}
+	genome := Genome(cfg.Reads)
+	a.reads = Reads(cfg.Reads, genome, a.rank, a.n)
+
+	kmersPerRead := cfg.Reads.ReadLen - cfg.K + 1
+	if kmersPerRead < 0 {
+		kmersPerRead = 0
+	}
+	expectedKmers := (cfg.Reads.NumReads*kmersPerRead)/a.n + 1
+	a.bloom = NewBloom(uint64(expectedKmers*cfg.BloomBitsPerKmer), 4)
+	a.cmap = NewCountMap(expectedKmers)
+	a.aggs = make([]*aggBuf, a.n)
+	for i := range a.aggs {
+		a.aggs[i] = &aggBuf{buf: make([]byte, 0, cfg.AggBytes)}
+	}
+	a.sentTo = make([]atomic.Int64, a.n)
+
+	tr.SetSink(a.sink)
+
+	start := time.Now()
+	a.runPass(1)
+	a.barrier(1)
+	a.runPass(2)
+	a.barrier(2)
+	elapsed := time.Since(start)
+
+	res := Result{
+		Elapsed:   elapsed,
+		Histogram: make(map[int64]int64),
+		StashLen:  a.cmap.StashLen(),
+		Total:     a.total.Load(),
+	}
+	a.cmap.Range(func(_ Kmer, c int64) bool {
+		res.Histogram[c]++
+		res.Distinct++
+		if c == 1 {
+			res.BloomFPish++
+		}
+		return true
+	})
+	return res, nil
+}
+
+// sink handles one arrived payload. It must be thread-safe: any worker
+// (LCI) or the polling thread (GASNet) may invoke it.
+func (a *app) sink(src int, payload []byte) {
+	switch payload[0] {
+	case kindBatch1, kindBatch2:
+		n := int(binary.LittleEndian.Uint32(payload[1:]))
+		body := payload[5:]
+		pass := 0
+		if payload[0] == kindBatch2 {
+			pass = 1
+		}
+		for i := 0; i < n; i++ {
+			km := FromBytes(body[i*kmerBytes:])
+			a.insert(km, pass)
+		}
+		a.recvCount[pass].Add(int64(n))
+	case kindDone1:
+		a.expected[0].Add(int64(binary.LittleEndian.Uint64(payload[1:])))
+		a.dones[0].Add(1)
+	case kindDone2:
+		a.expected[1].Add(int64(binary.LittleEndian.Uint64(payload[1:])))
+		a.dones[1].Add(1)
+	case kindBarrier:
+		a.barriers.Add(1)
+	default:
+		panic(fmt.Sprintf("kmer: unknown message kind %d", payload[0]))
+	}
+}
+
+// insert applies one k-mer instance to this rank's data structures.
+// pass is 0-based. Total counts each instance once (during pass 1).
+func (a *app) insert(km Kmer, pass int) {
+	if pass == 0 {
+		a.total.Add(1)
+		a.bloom.Insert(km)
+		return
+	}
+	if a.bloom.SeenTwice(km) {
+		a.cmap.Add(km, 1)
+	}
+}
+
+// takeLocked drains agg into a wire payload; caller holds g.mu. Returns
+// nil when empty.
+func takeLocked(g *aggBuf, kind byte) (payload []byte, count int) {
+	if g.n == 0 {
+		return nil, 0
+	}
+	payload = make([]byte, 5+len(g.buf))
+	payload[0] = kind
+	binary.LittleEndian.PutUint32(payload[1:], uint32(g.n))
+	copy(payload[5:], g.buf)
+	count = g.n
+	g.buf = g.buf[:0]
+	g.n = 0
+	return payload, count
+}
+
+// flush sends agg's remaining contents (end-of-pass stragglers).
+func (a *app) flush(dst, tid int, kind byte) {
+	g := a.aggs[dst]
+	g.mu.Lock()
+	payload, count := takeLocked(g, kind)
+	g.mu.Unlock()
+	if payload == nil {
+		return
+	}
+	a.tr.Send(dst, payload, tid)
+	a.sentTo[dst].Add(int64(count))
+}
+
+// add appends a k-mer to dst's aggregation buffer. When the buffer fills
+// it is drained into a payload under the same lock hold — draining after
+// re-locking would let concurrent appenders grow it past the transport's
+// maximum message size.
+func (a *app) add(dst int, km Kmer, tid int, kind byte) {
+	g := a.aggs[dst]
+	var payload []byte
+	var count int
+	g.mu.Lock()
+	var tmp [kmerBytes]byte
+	km.Bytes(tmp[:])
+	g.buf = append(g.buf, tmp[:]...)
+	g.n++
+	if 5+len(g.buf)+kmerBytes > a.cfg.AggBytes {
+		payload, count = takeLocked(g, kind)
+	}
+	g.mu.Unlock()
+	if payload != nil {
+		a.tr.Send(dst, payload, tid)
+		a.sentTo[dst].Add(int64(count))
+	}
+}
+
+// runPass executes one traversal of the local reads.
+func (a *app) runPass(pass int) {
+	a.pass.Store(int32(pass))
+	kind := byte(kindBatch1)
+	doneKind := byte(kindDone1)
+	if pass == 2 {
+		kind = kindBatch2
+		doneKind = kindDone2
+	}
+	for i := range a.sentTo {
+		a.sentTo[i].Store(0)
+	}
+
+	workers := a.cfg.Threads
+	serveInline := true
+	stopProgress := make(chan struct{})
+	var progressWG sync.WaitGroup
+	if a.cfg.DedicatedProgress && workers > 1 {
+		// The paper's "(p1)" setup: one thread does nothing but serve.
+		workers--
+		serveInline = false
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				default:
+					if a.tr.Serve(workers) == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			sinceServe := 0
+			lo := len(a.reads) * tid / workers
+			hi := len(a.reads) * (tid + 1) / workers
+			for _, read := range a.reads[lo:hi] {
+				ForEachKmer(read, a.cfg.K, func(km Kmer) {
+					owner := km.Owner(a.n)
+					if owner == a.rank {
+						a.insert(km, pass-1)
+					} else {
+						a.add(owner, km, tid, kind)
+					}
+					sinceServe++
+					if serveInline && sinceServe >= 256 {
+						sinceServe = 0
+						a.tr.Serve(tid)
+					}
+				})
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	// Flush stragglers and announce totals.
+	for dst := 0; dst < a.n; dst++ {
+		if dst != a.rank {
+			a.flush(dst, 0, kind)
+		}
+	}
+	for dst := 0; dst < a.n; dst++ {
+		if dst == a.rank {
+			continue
+		}
+		var msg [9]byte
+		msg[0] = doneKind
+		binary.LittleEndian.PutUint64(msg[1:], uint64(a.sentTo[dst].Load()))
+		a.tr.Send(dst, msg[:], 0)
+	}
+
+	// Serve until this rank has received everything addressed to it.
+	// Every device must be progressed: peers address their batches to the
+	// endpoint matching their sending thread.
+	p := pass - 1
+	for a.dones[p].Load() < int32(a.n-1) || a.recvCount[p].Load() < a.expected[p].Load() {
+		if a.serveAll() == 0 {
+			runtime.Gosched()
+		}
+	}
+	if a.cfg.DedicatedProgress && a.cfg.Threads > 1 {
+		close(stopProgress)
+		progressWG.Wait()
+	}
+}
+
+// serveAll progresses every worker thread's resources once.
+func (a *app) serveAll() int {
+	n := 0
+	for tid := 0; tid < a.cfg.Threads; tid++ {
+		n += a.tr.Serve(tid)
+	}
+	return n
+}
+
+// barrier waits until every rank has finished the given pass (the k-th
+// barrier overall), so pass-2 queries never race pass-1 inserts.
+func (a *app) barrier(k int) {
+	for dst := 0; dst < a.n; dst++ {
+		if dst == a.rank {
+			continue
+		}
+		a.tr.Send(dst, []byte{kindBarrier}, 0)
+	}
+	for a.barriers.Load() < int32(k*(a.n-1)) {
+		if a.serveAll() == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SequentialOracle computes the exact histogram for cfg on one thread
+// (no transport, no Bloom filter): the ground truth for tests. It returns
+// (histogram of counts>=2, distinct kmers with count>=2, total kmer
+// instances).
+func SequentialOracle(cfg Config) (map[int64]int64, int64, int64) {
+	genome := Genome(cfg.Reads)
+	counts := make(map[Kmer]int64)
+	var total int64
+	reads := Reads(cfg.Reads, genome, 0, 1)
+	for _, read := range reads {
+		ForEachKmer(read, cfg.K, func(km Kmer) {
+			counts[km]++
+			total++
+		})
+	}
+	hist := make(map[int64]int64)
+	var distinct int64
+	for _, c := range counts {
+		if c >= 2 {
+			hist[c]++
+			distinct++
+		}
+	}
+	return hist, distinct, total
+}

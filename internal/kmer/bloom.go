@@ -1,0 +1,113 @@
+package kmer
+
+import "sync/atomic"
+
+// Bloom is the hand-written atomic two-layer Bloom filter of §6.3. The
+// first layer records "seen at least once", the second "seen at least
+// twice". Inserting consults layer one: if the k-mer was already present
+// there, it is promoted to layer two. Querying asks layer two, filtering
+// out the (likely erroneous) single-occurrence k-mers so they never reach
+// the hash map. All bit operations are atomic Or/Load on 64-bit words,
+// so any thread can insert concurrently.
+type Bloom struct {
+	bits1  []atomic.Uint64
+	bits2  []atomic.Uint64
+	mask   uint64
+	hashes int
+}
+
+// NewBloom sizes each layer at nextpow2(bits) bits with k hash probes.
+// A standard sizing for ~n elements at ~3% false positives is bits = 8n,
+// k = 4.
+func NewBloom(bits uint64, hashes int) *Bloom {
+	if hashes < 1 {
+		hashes = 4
+	}
+	words := uint64(64)
+	for words*64 < bits {
+		words <<= 1
+	}
+	return &Bloom{
+		bits1:  make([]atomic.Uint64, words),
+		bits2:  make([]atomic.Uint64, words),
+		mask:   words*64 - 1,
+		hashes: hashes,
+	}
+}
+
+// probe derives the i-th bit position via double hashing.
+func (b *Bloom) probe(h1, h2 uint64, i int) (word, bit uint64) {
+	pos := (h1 + uint64(i)*h2) & b.mask
+	return pos >> 6, pos & 63
+}
+
+// orWord sets mask bits in *p and returns the previous value. Implemented
+// as a CAS loop: the atomic.Uint64.Or intrinsic miscompiles under
+// optimization on this toolchain (go1.24.0 linux/amd64), observed as a
+// nil-pointer fault in Insert.
+func orWord(p *atomic.Uint64, mask uint64) uint64 {
+	for {
+		old := p.Load()
+		if old&mask == mask {
+			return old
+		}
+		if p.CompareAndSwap(old, old|mask) {
+			return old
+		}
+	}
+}
+
+func split(k Kmer) (uint64, uint64) {
+	h := k.Hash()
+	h2 := h>>33 | 1 // odd, so probes cover the table
+	return h, h2
+}
+
+// Insert records one occurrence. It reports whether the k-mer was
+// (probably) seen before this insert — i.e. whether it was promoted to or
+// already in layer two.
+func (b *Bloom) Insert(k Kmer) bool {
+	h1, h2 := split(k)
+	seen := true
+	for i := 0; i < b.hashes; i++ {
+		w, bit := b.probe(h1, h2, i)
+		old := orWord(&b.bits1[w], 1<<bit)
+		if old&(1<<bit) == 0 {
+			seen = false
+		}
+	}
+	if !seen {
+		return false
+	}
+	for i := 0; i < b.hashes; i++ {
+		w, bit := b.probe(h1, h2, i)
+		orWord(&b.bits2[w], 1<<bit)
+	}
+	return true
+}
+
+// SeenTwice reports whether the k-mer has (probably) been inserted at
+// least twice.
+func (b *Bloom) SeenTwice(k Kmer) bool {
+	h1, h2 := split(k)
+	for i := 0; i < b.hashes; i++ {
+		w, bit := b.probe(h1, h2, i)
+		if b.bits2[w].Load()&(1<<bit) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SeenOnce reports whether the k-mer has (probably) been inserted at
+// least once (layer-one query; used by tests).
+func (b *Bloom) SeenOnce(k Kmer) bool {
+	h1, h2 := split(k)
+	for i := 0; i < b.hashes; i++ {
+		w, bit := b.probe(h1, h2, i)
+		if b.bits1[w].Load()&(1<<bit) == 0 {
+			return false
+		}
+	}
+	return true
+}

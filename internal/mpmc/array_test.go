@@ -1,0 +1,127 @@
+package mpmc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayAppendGet(t *testing.T) {
+	a := NewArray[int](1)
+	for i := 0; i < 100; i++ {
+		idx := a.Append(i * 10)
+		if idx != i {
+			t.Fatalf("Append returned index %d, want %d", idx, i)
+		}
+	}
+	if a.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", a.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := a.Get(i); got != i*10 {
+			t.Fatalf("Get(%d) = %d, want %d", i, got, i*10)
+		}
+	}
+}
+
+func TestArraySet(t *testing.T) {
+	a := NewArray[string](2)
+	a.Append("x")
+	a.Append("y")
+	a.Set(0, "z")
+	if a.Get(0) != "z" || a.Get(1) != "y" {
+		t.Fatalf("Set failed: %v", a.Snapshot())
+	}
+}
+
+func TestArrayOutOfRangePanics(t *testing.T) {
+	a := NewArray[int](4)
+	a.Append(1)
+	for _, i := range []int{-1, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			a.Get(i)
+		}()
+	}
+}
+
+// TestArrayConcurrentReadDuringResize is the paper's core requirement:
+// reads must remain valid while appends trigger resizes.
+func TestArrayConcurrentReadDuringResize(t *testing.T) {
+	type payload struct{ magic uint64 }
+	a := NewArray[*payload](1)
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers hammer published indices during resizes; a torn or
+	// unpublished read would yield a nil pointer or a payload without the
+	// magic value.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := a.Len()
+				for i := 0; i < n; i += 97 {
+					p := a.Get(i)
+					if p == nil || p.magic != 0xfeedface {
+						t.Errorf("Get(%d) = %+v during resize", i, p)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for i := 0; i < perWriter; i++ {
+				a.Append(&payload{magic: 0xfeedface})
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if a.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", a.Len(), writers*perWriter)
+	}
+}
+
+func TestArrayQuickSequential(t *testing.T) {
+	// Property: appending any sequence then reading back yields the same
+	// sequence.
+	f := func(xs []int64) bool {
+		a := NewArray[int64](1)
+		for _, x := range xs {
+			a.Append(x)
+		}
+		if a.Len() != len(xs) {
+			return false
+		}
+		for i, x := range xs {
+			if a.Get(i) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package mpmc
+
+// Deque is a slice-backed double-ended queue with power-of-two capacity
+// (index arithmetic is a mask, keeping packet-pool get/put cheap). It is
+// NOT synchronized; the packet pool and the network simulator guard each
+// Deque with their own spinlock, which matches the paper's per-deque/
+// per-queue locking (§5.1.2).
+type Deque[T any] struct {
+	buf        []T
+	mask       int
+	head, size int
+}
+
+// NewDeque returns a deque with capacity rounded up to a power of two.
+func NewDeque[T any](initialCap int) *Deque[T] {
+	d := new(Deque[T])
+	d.Init(initialCap)
+	return d
+}
+
+// Init prepares a zero Deque with capacity rounded up to a power of two.
+// Embedding a Deque by value (plus Init) lets owners control its memory
+// placement — separate small heap allocations would false-share
+// cachelines between unrelated deques.
+func (d *Deque[T]) Init(initialCap int) {
+	n := 4
+	for n < initialCap {
+		n <<= 1
+	}
+	d.buf = make([]T, n)
+	d.mask = n - 1
+	d.head, d.size = 0, 0
+}
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.size }
+
+func (d *Deque[T]) grow() {
+	nb := make([]T, 2*len(d.buf))
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)&d.mask]
+	}
+	d.buf = nb
+	d.mask = len(nb) - 1
+	d.head = 0
+}
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)&d.mask] = v
+	d.size++
+}
+
+// PushFront prepends v at the head.
+func (d *Deque[T]) PushFront(v T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & d.mask
+	d.buf[d.head] = v
+	d.size++
+}
+
+// PopFront removes and returns the head element.
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) & d.mask
+	d.size--
+	return v, true
+}
+
+// PopBack removes and returns the tail element.
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	if d.size == 0 {
+		return zero, false
+	}
+	i := (d.head + d.size - 1) & d.mask
+	v := d.buf[i]
+	d.buf[i] = zero
+	d.size--
+	return v, true
+}

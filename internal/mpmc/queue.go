@@ -1,0 +1,103 @@
+package mpmc
+
+import "sync/atomic"
+
+// Queue is an unbounded MPMC queue in the style of LCRQ (Morrison & Afek,
+// PPoPP'13), the paper's default completion-queue implementation (§5.1.4):
+// a linked list of fixed-size fetch-and-add ring segments. When a segment
+// fills, producers link a fresh segment; when a segment empties and a
+// successor exists, consumers seal it (so no straggler can slip an element
+// into an abandoned segment) and advance past it once it is fully drained.
+//
+// Guarantees: no element is lost or duplicated, Enqueue always succeeds and
+// never blocks, Dequeue never blocks. Elements are FIFO within a segment;
+// across a segment boundary a delayed producer can be overtaken, which is
+// acceptable for a completion queue (LCI does not promise a total
+// completion order across threads).
+type Queue[T any] struct {
+	head   atomic.Pointer[segment[T]]
+	tail   atomic.Pointer[segment[T]]
+	length atomic.Int64
+	segCap int
+}
+
+type segment[T any] struct {
+	ring *Ring[T]
+	next atomic.Pointer[segment[T]]
+}
+
+// DefaultSegmentCap is the ring size of each queue segment.
+const DefaultSegmentCap = 1 << 12
+
+// NewQueue returns an empty queue with the given segment capacity
+// (DefaultSegmentCap if segCap <= 0).
+func NewQueue[T any](segCap int) *Queue[T] {
+	if segCap <= 0 {
+		segCap = DefaultSegmentCap
+	}
+	q := &Queue[T]{segCap: segCap}
+	s := &segment[T]{ring: NewRing[T](segCap)}
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue adds v to the queue. It never fails.
+func (q *Queue[T]) Enqueue(v T) {
+	for {
+		t := q.tail.Load()
+		if t.ring.Enqueue(v) {
+			q.length.Add(1)
+			return
+		}
+		// Segment full or sealed: make sure a successor exists, then help
+		// advance the tail and retry there.
+		next := t.next.Load()
+		if next == nil {
+			n := &segment[T]{ring: NewRing[T](q.segCap)}
+			if t.next.CompareAndSwap(nil, n) {
+				next = n
+			} else {
+				next = t.next.Load()
+			}
+		}
+		q.tail.CompareAndSwap(t, next)
+	}
+}
+
+// Dequeue removes and returns the oldest available element. ok is false if
+// the queue is empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		h := q.head.Load()
+		if v, ok := h.ring.Dequeue(); ok {
+			q.length.Add(-1)
+			return v, true
+		}
+		next := h.next.Load()
+		if next == nil {
+			var zero T
+			return zero, false
+		}
+		// The segment looks empty and has a successor. Seal it so no new
+		// element can land here, re-check for stragglers, and advance only
+		// once every claimed slot has been published and consumed.
+		h.ring.Seal()
+		if v, ok := h.ring.Dequeue(); ok {
+			q.length.Add(-1)
+			return v, true
+		}
+		if h.ring.Drained() {
+			q.head.CompareAndSwap(h, next)
+		}
+		// If not drained, an in-flight producer is about to publish; loop.
+	}
+}
+
+// Len returns an instantaneous estimate of the queue length.
+func (q *Queue[T]) Len() int {
+	if n := q.length.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package mpmc
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue on empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("Enqueue(%d) failed on non-full ring", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("Enqueue succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue on drained ring succeeded")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 2}, {1, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}} {
+		if got := NewRing[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](2)
+	for i := 0; i < 1000; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("Enqueue(%d) failed", i)
+		}
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestRingSeal(t *testing.T) {
+	r := NewRing[int](8)
+	r.Enqueue(1)
+	r.Seal()
+	if !r.Sealed() {
+		t.Fatal("ring should report sealed")
+	}
+	if r.Enqueue(2) {
+		t.Fatal("Enqueue succeeded on sealed ring")
+	}
+	if r.Drained() {
+		t.Fatal("ring with one element cannot be drained")
+	}
+	if v, ok := r.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	if !r.Drained() {
+		t.Fatal("sealed empty ring should be drained")
+	}
+}
+
+func TestRingFIFOSingleThread(t *testing.T) {
+	f := func(xs []int32) bool {
+		r := NewRing[int32](len(xs) + 1)
+		for _, x := range xs {
+			if !r.Enqueue(x) {
+				return false
+			}
+		}
+		for _, x := range xs {
+			v, ok := r.Dequeue()
+			if !ok || v != x {
+				return false
+			}
+		}
+		_, ok := r.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkNoLossNoDup runs P producers and C consumers over an enqueue/dequeue
+// pair and verifies every produced value is consumed exactly once.
+func checkNoLossNoDup(t *testing.T, producers, consumers, perProducer int,
+	enq func(int) bool, deq func() (int, bool)) {
+	t.Helper()
+	total := producers * perProducer
+	done := make(chan struct{})
+	var got sync.Map
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(total)
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := deq()
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					continue
+				}
+				if _, loaded := got.LoadOrStore(v, true); loaded {
+					t.Errorf("duplicate value %d", v)
+					continue
+				}
+				consumed.Done()
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !enq(v) {
+				}
+			}
+		}(p)
+	}
+	consumed.Wait()
+	close(done)
+	wg.Wait()
+
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != total {
+		t.Fatalf("consumed %d distinct values, want %d", count, total)
+	}
+}
+
+func TestQueueConcurrentNoLossNoDup(t *testing.T) {
+	q := NewQueue[int](64) // small segments force many segment transitions
+	checkNoLossNoDup(t, 8, 8, 3000,
+		func(v int) bool { q.Enqueue(v); return true },
+		q.Dequeue)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty at the end")
+	}
+}
+
+func TestRingConcurrentNoLossNoDup(t *testing.T) {
+	r := NewRing[int](256)
+	checkNoLossNoDup(t, 4, 4, 5000, r.Enqueue, r.Dequeue)
+}
+
+func TestQueueFIFOSingleProducerSingleConsumer(t *testing.T) {
+	q := NewQueue[int](16)
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	got := make([]int, 0, n)
+	for len(got) < n {
+		if v, ok := q.Dequeue(); ok {
+			got = append(got, v)
+		}
+	}
+	wg.Wait()
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("single-producer single-consumer order not FIFO")
+	}
+}
+
+func TestQueueLenEstimate(t *testing.T) {
+	q := NewQueue[int](8)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 40; i++ {
+		q.Dequeue()
+	}
+	if q.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", q.Len())
+	}
+}

@@ -1,0 +1,370 @@
+// Package fabric is the wire-level substrate of the network simulator. It
+// stands in for the physical interconnect plus the DMA engines of the NICs
+// (the paper evaluates on HDR InfiniBand and Slingshot-11; neither is
+// available here, see DESIGN.md §2).
+//
+// A Fabric connects the endpoints of NumRanks simulated processes. Each
+// rank owns one or more endpoints — one per LCI device / libfabric
+// endpoint / MPICH VCI — so replicating devices replicates the wire-level
+// receive path exactly as it does on real hardware. Data movement is
+// synchronous memcpy performed by the calling goroutine: the "wire" of the
+// simulation is the host memory system, which preserves the per-byte cost
+// structure that shapes the paper's bandwidth results (eager double-copy
+// vs zero-copy rendezvous). Per-operation CPU costs and lock granularity
+// are modeled one layer up, in the ibv/ofi provider simulations.
+//
+// Flow control mirrors InfiniBand reliable-connection semantics closely
+// enough for the evaluation:
+//
+//   - A send consumes one pre-posted receive slot at the target endpoint.
+//     If none is available the message is buffered in a bounded in-order
+//     pending queue (the hardware analogue is RNR-NAK + retransmit, which
+//     preserves ordering); when that queue is also full, Send reports
+//     failure and the sender must retry (backpressure).
+//   - RMA writes and reads move bytes immediately and never consume recv
+//     slots; a write-with-immediate additionally enqueues a completion
+//     event at a target endpoint (always accepted, like a CQE).
+//
+// Memory registrations are per rank: any endpoint of a rank can service
+// RMA traffic for the rank's registered regions, as with a protection
+// domain shared across queue pairs.
+package fabric
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lci/internal/mpmc"
+	"lci/internal/spin"
+)
+
+// CompKind classifies simulated completion events.
+type CompKind uint8
+
+const (
+	// TxDone: a locally posted send/write completed (buffer reusable).
+	TxDone CompKind = iota
+	// RxSend: an incoming eager message landed in a posted recv slot.
+	RxSend
+	// RxWriteImm: an incoming RMA write-with-immediate signaled us.
+	RxWriteImm
+	// ReadDone: a locally posted RMA read completed.
+	ReadDone
+)
+
+func (k CompKind) String() string {
+	switch k {
+	case TxDone:
+		return "tx-done"
+	case RxSend:
+		return "rx-send"
+	case RxWriteImm:
+		return "rx-write-imm"
+	case ReadDone:
+		return "read-done"
+	default:
+		return fmt.Sprintf("comp(%d)", uint8(k))
+	}
+}
+
+// Completion is a simulated completion-queue entry.
+type Completion struct {
+	Kind CompKind
+	Ctx  any    // posting context (TxDone/ReadDone) or recv-slot context (RxSend)
+	Src  int    // source rank (RxSend/RxWriteImm)
+	Meta uint32 // sender-supplied metadata (RxSend)
+	Imm  uint64 // immediate data (RxWriteImm)
+	Len  int    // payload length in bytes (RxSend/RxWriteImm)
+}
+
+// Config sizes a fabric.
+type Config struct {
+	// NumRanks is the number of simulated processes.
+	NumRanks int
+	// PendingCap bounds the per-endpoint RNR pending queue (default 1024).
+	PendingCap int
+}
+
+type recvSlot struct {
+	buf []byte
+	ctx any
+}
+
+type pendingMsg struct {
+	src  int
+	meta uint32
+	data []byte // private copy, fabric-owned
+}
+
+type memRegion struct {
+	buf []byte
+}
+
+// Endpoint is one simulated NIC receive context. A rank typically owns
+// one endpoint per LCI device. The hot queues are embedded by value and
+// padded so endpoints never false-share cachelines.
+type Endpoint struct {
+	rank int
+	idx  int
+
+	_       spin.Pad
+	rxMu    spin.Mutex
+	slots   mpmc.Deque[recvSlot]
+	ready   mpmc.Deque[Completion]
+	pending mpmc.Deque[pendingMsg]
+	nReady  atomic.Int32 // lock-free emptiness check for pollers
+	_       spin.Pad
+
+	// statistics (atomic; read by tests and the bench harness)
+	statRNR     atomic.Int64
+	statRejects atomic.Int64
+	statMsgs    atomic.Int64
+	statBytes   atomic.Int64
+}
+
+// Rank returns the owning rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Index returns the endpoint's index within its rank.
+func (e *Endpoint) Index() int { return e.idx }
+
+type rankState struct {
+	eps      *mpmc.Array[*Endpoint]
+	memMu    spin.Mutex
+	regions  map[uint64]memRegion
+	rmaBytes atomic.Int64
+}
+
+// Fabric connects the endpoints of one simulated cluster.
+type Fabric struct {
+	cfg     Config
+	ranks   []*rankState
+	nextKey atomic.Uint64
+}
+
+// New creates a fabric for cfg.NumRanks ranks with no endpoints yet.
+func New(cfg Config) *Fabric {
+	if cfg.NumRanks < 1 {
+		panic("fabric: NumRanks must be >= 1")
+	}
+	if cfg.PendingCap <= 0 {
+		cfg.PendingCap = 1024
+	}
+	f := &Fabric{cfg: cfg, ranks: make([]*rankState, cfg.NumRanks)}
+	for i := range f.ranks {
+		f.ranks[i] = &rankState{
+			eps:     mpmc.NewArray[*Endpoint](4),
+			regions: make(map[uint64]memRegion),
+		}
+	}
+	return f
+}
+
+// NumRanks returns the number of ranks.
+func (f *Fabric) NumRanks() int { return len(f.ranks) }
+
+func (f *Fabric) rank(r int) *rankState {
+	if r < 0 || r >= len(f.ranks) {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, len(f.ranks)))
+	}
+	return f.ranks[r]
+}
+
+// NewEndpoint creates and registers a new endpoint for rank.
+func (f *Fabric) NewEndpoint(rank int) *Endpoint {
+	rs := f.rank(rank)
+	e := &Endpoint{rank: rank}
+	e.slots.Init(64)
+	e.ready.Init(64)
+	e.pending.Init(16)
+	e.idx = rs.eps.Append(e)
+	return e
+}
+
+// NumEndpoints reports how many endpoints rank has registered.
+func (f *Fabric) NumEndpoints(rank int) int { return f.rank(rank).eps.Len() }
+
+// resolve picks the target endpoint for (rank, hint): endpoints wrap
+// around, so symmetric jobs address peer device i with hint i.
+func (f *Fabric) resolve(rank, hint int) *Endpoint {
+	rs := f.rank(rank)
+	n := rs.eps.Len()
+	if n == 0 {
+		panic(fmt.Sprintf("fabric: rank %d has no endpoints", rank))
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	return rs.eps.Get(hint % n)
+}
+
+// Send transmits data (with sender metadata meta) from src to endpoint
+// dstDev of rank dst. The data slice is copied before Send returns; the
+// caller may reuse it immediately. Send reports false when the target is
+// out of both receive slots and pending-queue space; the caller must
+// retry later.
+func (f *Fabric) Send(dst, dstDev, src int, meta uint32, data []byte) bool {
+	e := f.resolve(dst, dstDev)
+	e.rxMu.Lock()
+	if s, ok := e.slots.PopFront(); ok {
+		copied := copy(s.buf, data)
+		e.ready.PushBack(Completion{Kind: RxSend, Ctx: s.ctx, Src: src, Meta: meta, Len: copied})
+		e.nReady.Add(1)
+		e.rxMu.Unlock()
+		e.statMsgs.Add(1)
+		e.statBytes.Add(int64(len(data)))
+		return true
+	}
+	if e.pending.Len() >= f.cfg.PendingCap {
+		e.rxMu.Unlock()
+		e.statRejects.Add(1)
+		return false
+	}
+	// RNR path: buffer a private copy in arrival order.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	e.pending.PushBack(pendingMsg{src: src, meta: meta, data: cp})
+	e.rxMu.Unlock()
+	e.statRNR.Add(1)
+	e.statMsgs.Add(1)
+	e.statBytes.Add(int64(len(data)))
+	return true
+}
+
+// PostRecv posts a receive slot at endpoint e. If RNR-buffered messages
+// are waiting, the oldest is delivered into the new slot immediately,
+// preserving arrival order.
+func (e *Endpoint) PostRecv(buf []byte, ctx any) {
+	e.rxMu.Lock()
+	if p, ok := e.pending.PopFront(); ok {
+		copied := copy(buf, p.data)
+		e.ready.PushBack(Completion{Kind: RxSend, Ctx: ctx, Src: p.src, Meta: p.meta, Len: copied})
+		e.nReady.Add(1)
+		e.rxMu.Unlock()
+		return
+	}
+	e.slots.PushBack(recvSlot{buf: buf, ctx: ctx})
+	e.rxMu.Unlock()
+}
+
+// PollReady moves up to len(out) pending completion events of endpoint e
+// into out and returns how many were delivered.
+func (e *Endpoint) PollReady(out []Completion) int {
+	if len(out) == 0 {
+		return 0
+	}
+	// Lock-free empty fast path: pollers spin on PollReady far more often
+	// than events arrive, and taking the lock on every empty poll would
+	// stall senders delivering into this endpoint.
+	if e.nReady.Load() == 0 {
+		return 0
+	}
+	e.rxMu.Lock()
+	k := 0
+	for k < len(out) {
+		c, ok := e.ready.PopFront()
+		if !ok {
+			break
+		}
+		out[k] = c
+		k++
+	}
+	if k > 0 {
+		e.nReady.Add(int32(-k))
+	}
+	e.rxMu.Unlock()
+	return k
+}
+
+// RegisterMem registers buf at rank for remote access and returns its
+// rkey. Registration is cheap at the fabric layer; provider-level costs
+// (registration caches, locks) are modeled in the ibv/ofi layers.
+func (f *Fabric) RegisterMem(rank int, buf []byte) uint64 {
+	rs := f.rank(rank)
+	key := f.nextKey.Add(1)
+	rs.memMu.Lock()
+	rs.regions[key] = memRegion{buf: buf}
+	rs.memMu.Unlock()
+	return key
+}
+
+// DeregisterMem removes a registration.
+func (f *Fabric) DeregisterMem(rank int, rkey uint64) {
+	rs := f.rank(rank)
+	rs.memMu.Lock()
+	delete(rs.regions, rkey)
+	rs.memMu.Unlock()
+}
+
+func (rs *rankState) region(rank int, rkey uint64) ([]byte, error) {
+	rs.memMu.Lock()
+	r, ok := rs.regions[rkey]
+	rs.memMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: rank %d has no memory region with rkey %d", rank, rkey)
+	}
+	return r.buf, nil
+}
+
+// Write performs an RMA write of data into (rkey, offset) at dst. When
+// hasImm is true, an RxWriteImm completion carrying imm is queued at
+// endpoint notifyDev of the target. The byte movement happens on the
+// calling goroutine (the simulated DMA engine).
+func (f *Fabric) Write(dst, notifyDev, src int, rkey, offset uint64, data []byte, imm uint64, hasImm bool) error {
+	rs := f.rank(dst)
+	region, err := rs.region(dst, rkey)
+	if err != nil {
+		return err
+	}
+	if offset+uint64(len(data)) > uint64(len(region)) {
+		return fmt.Errorf("fabric: write of %d bytes at offset %d exceeds region size %d", len(data), offset, len(region))
+	}
+	copy(region[offset:], data)
+	rs.rmaBytes.Add(int64(len(data)))
+	if hasImm {
+		e := f.resolve(dst, notifyDev)
+		e.rxMu.Lock()
+		e.ready.PushBack(Completion{Kind: RxWriteImm, Src: src, Imm: imm, Len: len(data)})
+		e.nReady.Add(1)
+		e.rxMu.Unlock()
+	}
+	return nil
+}
+
+// Read performs an RMA read from (rkey, offset) at dst into the local
+// buffer into. Like Write it is synchronous; the target CPU is not
+// involved, matching RDMA-read semantics.
+func (f *Fabric) Read(dst int, rkey, offset uint64, into []byte) error {
+	rs := f.rank(dst)
+	region, err := rs.region(dst, rkey)
+	if err != nil {
+		return err
+	}
+	if offset+uint64(len(into)) > uint64(len(region)) {
+		return fmt.Errorf("fabric: read of %d bytes at offset %d exceeds region size %d", len(into), offset, len(region))
+	}
+	copy(into, region[offset:])
+	rs.rmaBytes.Add(int64(len(into)))
+	return nil
+}
+
+// Stats is a snapshot of endpoint counters.
+type Stats struct {
+	Msgs, Bytes, RNR, Rejects   int64
+	PostedRecvs, Pending, Ready int
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	e.rxMu.Lock()
+	posted, pend, ready := e.slots.Len(), e.pending.Len(), e.ready.Len()
+	e.rxMu.Unlock()
+	return Stats{
+		Msgs: e.statMsgs.Load(), Bytes: e.statBytes.Load(),
+		RNR: e.statRNR.Load(), Rejects: e.statRejects.Load(),
+		PostedRecvs: posted, Pending: pend, Ready: ready,
+	}
+}
+
+// RMABytes reports total RMA bytes moved into rank's regions.
+func (f *Fabric) RMABytes(rank int) int64 { return f.rank(rank).rmaBytes.Load() }

@@ -1,0 +1,148 @@
+package fabric_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lci/internal/netsim/fabric"
+)
+
+func newPair(t *testing.T) (*fabric.Fabric, *fabric.Endpoint, *fabric.Endpoint) {
+	t.Helper()
+	f := fabric.New(fabric.Config{NumRanks: 2, PendingCap: 4})
+	e0 := f.NewEndpoint(0)
+	e1 := f.NewEndpoint(1)
+	return f, e0, e1
+}
+
+func TestSendIntoPostedRecv(t *testing.T) {
+	f, _, e1 := newPair(t)
+	buf := make([]byte, 64)
+	e1.PostRecv(buf, "slot")
+	if !f.Send(1, 0, 0, 42, []byte("hello")) {
+		t.Fatal("Send failed with a posted recv")
+	}
+	var comps [4]fabric.Completion
+	n := e1.PollReady(comps[:])
+	if n != 1 {
+		t.Fatalf("PollReady = %d", n)
+	}
+	c := comps[0]
+	if c.Kind != fabric.RxSend || c.Src != 0 || c.Meta != 42 || c.Len != 5 {
+		t.Fatalf("completion %+v", c)
+	}
+	if string(buf[:5]) != "hello" {
+		t.Fatalf("data %q", buf[:5])
+	}
+}
+
+func TestRNRBufferingPreservesOrderThenBackpressure(t *testing.T) {
+	f, _, e1 := newPair(t)
+	// No recvs posted: up to PendingCap sends buffer, then refusal.
+	for i := 0; i < 4; i++ {
+		if !f.Send(1, 0, 0, uint32(i), []byte{byte(i)}) {
+			t.Fatalf("send %d refused below pending cap", i)
+		}
+	}
+	if f.Send(1, 0, 0, 99, []byte{9}) {
+		t.Fatal("send accepted beyond pending cap")
+	}
+	// Posting receives drains the pending queue in order.
+	for i := 0; i < 4; i++ {
+		e1.PostRecv(make([]byte, 8), i)
+	}
+	var comps [8]fabric.Completion
+	n := e1.PollReady(comps[:])
+	if n != 4 {
+		t.Fatalf("PollReady = %d", n)
+	}
+	for i := 0; i < 4; i++ {
+		if comps[i].Meta != uint32(i) {
+			t.Fatalf("RNR order broken: %v", comps[:n])
+		}
+	}
+}
+
+func TestWriteReadAndImm(t *testing.T) {
+	f, e0, e1 := newPair(t)
+	region := make([]byte, 128)
+	rkey := f.RegisterMem(1, region)
+	if err := f.Write(1, 0, 0, rkey, 16, []byte("abc"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if string(region[16:19]) != "abc" {
+		t.Fatalf("write missed: %q", region[16:19])
+	}
+	// Write with immediate notifies endpoint 0 of rank 1.
+	if err := f.Write(1, 0, 0, rkey, 0, []byte("x"), 777, true); err != nil {
+		t.Fatal(err)
+	}
+	var comps [2]fabric.Completion
+	if n := e1.PollReady(comps[:]); n != 1 || comps[0].Kind != fabric.RxWriteImm || comps[0].Imm != 777 {
+		t.Fatalf("imm completion: %v", comps[:n])
+	}
+	// Read back remotely.
+	into := make([]byte, 3)
+	if err := f.Read(1, rkey, 16, into); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(into, []byte("abc")) {
+		t.Fatalf("read = %q", into)
+	}
+	_ = e0
+}
+
+func TestRMABoundsAndUnknownKey(t *testing.T) {
+	f, _, _ := newPair(t)
+	region := make([]byte, 8)
+	rkey := f.RegisterMem(1, region)
+	if err := f.Write(1, 0, 0, rkey, 6, []byte("abc"), 0, false); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := f.Read(1, rkey, 6, make([]byte, 4)); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if err := f.Write(1, 0, 0, 999999, 0, []byte("a"), 0, false); err == nil {
+		t.Fatal("unknown rkey accepted")
+	}
+	f.DeregisterMem(1, rkey)
+	if err := f.Read(1, rkey, 0, make([]byte, 1)); err == nil {
+		t.Fatal("read after deregister accepted")
+	}
+}
+
+func TestEndpointRouting(t *testing.T) {
+	f := fabric.New(fabric.Config{NumRanks: 2})
+	f.NewEndpoint(0)
+	e1a := f.NewEndpoint(1)
+	e1b := f.NewEndpoint(1)
+	e1a.PostRecv(make([]byte, 8), nil)
+	e1b.PostRecv(make([]byte, 8), nil)
+	// dstDev 1 must land on endpoint index 1.
+	f.Send(1, 1, 0, 5, []byte("z"))
+	var comps [2]fabric.Completion
+	if n := e1a.PollReady(comps[:]); n != 0 {
+		t.Fatal("message landed on wrong endpoint")
+	}
+	if n := e1b.PollReady(comps[:]); n != 1 {
+		t.Fatal("message missing from addressed endpoint")
+	}
+	// Hints wrap around the endpoint count.
+	f.Send(1, 2, 0, 6, []byte("w"))
+	if n := e1a.PollReady(comps[:]); n != 1 {
+		t.Fatal("wrapped hint missed endpoint 0")
+	}
+	if got := f.NumEndpoints(1); got != 2 {
+		t.Fatalf("NumEndpoints = %d", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	f, _, e1 := newPair(t)
+	e1.PostRecv(make([]byte, 8), nil)
+	f.Send(1, 0, 0, 0, []byte("abcd"))
+	st := e1.Stats()
+	if st.Msgs != 1 || st.Bytes != 4 || st.Ready != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,235 @@
+// Package ofi simulates a libfabric provider in the style of the cxi
+// (Slingshot-11) and verbs providers, reproducing the lock granularity the
+// paper analyzes in §5.2.4:
+//
+//   - every endpoint has a single spinlock; all sends, receives and
+//     completion-queue polls on that endpoint serialize on it;
+//   - memory registration goes through a per-domain registration cache
+//     protected by a single ("global") mutex — and the cxi provider
+//     consults that cache on almost every data operation, which the paper
+//     identifies as a major multithreaded bottleneck that LCI cannot
+//     mitigate from above.
+package ofi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"lci/internal/mpmc"
+	"lci/internal/netsim/fabric"
+	"lci/internal/spin"
+)
+
+// ErrTxFull is returned when the transmit queue has no free slot; the
+// caller must poll the CQ and retry.
+var ErrTxFull = errors.New("ofi: transmit queue full")
+
+// Config holds provider cost-model and sizing parameters.
+type Config struct {
+	TxDepth        int // transmit-queue depth per endpoint (default 256)
+	SendOverheadNs int // per-post cost under the endpoint lock (default 200)
+	RecvOverheadNs int // per-completion cost under the endpoint lock (default 120)
+	RegCacheNs     int // registration-cache lookup under the domain mutex, paid on (almost) every op (default 60)
+	RegisterNs     int // full registration cost under the domain mutex (default 400)
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxDepth <= 0 {
+		c.TxDepth = 256
+	}
+	if c.SendOverheadNs <= 0 {
+		c.SendOverheadNs = 200
+	}
+	if c.RecvOverheadNs <= 0 {
+		c.RecvOverheadNs = 120
+	}
+	if c.RegCacheNs <= 0 {
+		c.RegCacheNs = 60
+	}
+	if c.RegisterNs <= 0 {
+		c.RegisterNs = 400
+	}
+	return c
+}
+
+// Domain is the per-process libfabric domain. It owns the registration
+// cache and its global mutex.
+type Domain struct {
+	fab  *fabric.Fabric
+	rank int
+	cfg  Config
+
+	regMu     spin.Mutex // THE global registration-cache mutex
+	regHits   atomic.Int64
+	registers atomic.Int64
+}
+
+// NewDomain opens a domain for rank on fab.
+func NewDomain(fab *fabric.Fabric, rank int, cfg Config) *Domain {
+	return &Domain{fab: fab, rank: rank, cfg: cfg.withDefaults()}
+}
+
+// Rank returns the local rank.
+func (d *Domain) Rank() int { return d.rank }
+
+// NumRanks returns the number of ranks on the fabric.
+func (d *Domain) NumRanks() int { return d.fab.NumRanks() }
+
+// regCacheLookup models the per-operation registration-cache consultation:
+// a short critical section under the domain-global mutex.
+func (d *Domain) regCacheLookup() {
+	d.regMu.Lock()
+	spin.Delay(d.cfg.RegCacheNs)
+	d.regMu.Unlock()
+	d.regHits.Add(1)
+}
+
+// RegCacheHits reports how many times the global registration-cache mutex
+// was taken for lookups (diagnostics for the Delta-bottleneck analysis).
+func (d *Domain) RegCacheHits() int64 { return d.regHits.Load() }
+
+// Endpoint is a libfabric endpoint plus its bound completion queue. One
+// spinlock serializes every operation on it, as in the cxi and verbs
+// providers at FI_THREAD_SAFE.
+type Endpoint struct {
+	dom     *Domain
+	ep      *fabric.Endpoint
+	mu      spin.Mutex
+	txEv    *mpmc.Queue[fabric.Completion]
+	credits atomic.Int32
+}
+
+// Index returns the endpoint's fabric index within its rank.
+func (e *Endpoint) Index() int { return e.ep.Index() }
+
+// FabricEndpoint exposes the underlying fabric endpoint (diagnostics).
+func (e *Endpoint) FabricEndpoint() *fabric.Endpoint { return e.ep }
+
+// NewEndpoint creates an endpoint (the unit the LCI ofi backend puts in a
+// network device).
+func (d *Domain) NewEndpoint() *Endpoint {
+	e := &Endpoint{dom: d, ep: d.fab.NewEndpoint(d.rank), txEv: mpmc.NewQueue[fabric.Completion](256)}
+	e.credits.Store(int32(d.cfg.TxDepth))
+	return e
+}
+
+func (e *Endpoint) takeCredit() error {
+	if e.credits.Add(-1) < 0 {
+		e.credits.Add(1)
+		return ErrTxFull
+	}
+	return nil
+}
+
+// PostSend posts an eager send. The endpoint lock covers the post; the
+// registration cache is consulted as well (cxi behaviour).
+func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	if err := e.takeCredit(); err != nil {
+		return err
+	}
+	e.dom.regCacheLookup()
+	e.mu.Lock()
+	spin.Delay(e.dom.cfg.SendOverheadNs)
+	ok := e.dom.fab.Send(dst, dstDev, e.dom.rank, meta, data)
+	e.mu.Unlock()
+	if !ok {
+		e.credits.Add(1)
+		return ErrTxFull
+	}
+	e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	return nil
+}
+
+// PostWrite posts an RMA write (optionally with immediate).
+func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	if err := e.takeCredit(); err != nil {
+		return err
+	}
+	e.dom.regCacheLookup()
+	e.mu.Lock()
+	spin.Delay(e.dom.cfg.SendOverheadNs)
+	e.mu.Unlock()
+	if err := e.dom.fab.Write(dst, notifyDev, e.dom.rank, rkey, offset, data, imm, hasImm); err != nil {
+		e.credits.Add(1)
+		return err
+	}
+	e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	return nil
+}
+
+// PostRead posts an RMA read.
+func (e *Endpoint) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	if err := e.takeCredit(); err != nil {
+		return err
+	}
+	e.dom.regCacheLookup()
+	e.mu.Lock()
+	spin.Delay(e.dom.cfg.SendOverheadNs)
+	e.mu.Unlock()
+	if err := e.dom.fab.Read(dst, rkey, offset, into); err != nil {
+		e.credits.Add(1)
+		return err
+	}
+	e.txEv.Enqueue(fabric.Completion{Kind: fabric.ReadDone, Ctx: ctx})
+	return nil
+}
+
+// PostRecv posts a receive buffer. It takes the endpoint lock.
+func (e *Endpoint) PostRecv(buf []byte, ctx any) {
+	e.mu.Lock()
+	e.ep.PostRecv(buf, ctx)
+	e.mu.Unlock()
+}
+
+// PollCQ drains up to len(out) completions under the endpoint lock
+// (fi_cq_read serializes with data ops on these providers).
+func (e *Endpoint) PollCQ(out []fabric.Completion) int {
+	e.mu.Lock()
+	k := 0
+	for k < len(out) {
+		c, ok := e.txEv.Dequeue()
+		if !ok {
+			break
+		}
+		spin.Delay(e.dom.cfg.RecvOverheadNs)
+		e.credits.Add(1)
+		out[k] = c
+		k++
+	}
+	if k < len(out) {
+		n := e.ep.PollReady(out[k:])
+		for i := 0; i < n; i++ {
+			spin.Delay(e.dom.cfg.RecvOverheadNs)
+		}
+		k += n
+	}
+	e.mu.Unlock()
+	return k
+}
+
+// RegisterMem registers buf. The full registration path holds the global
+// registration-cache mutex for RegisterNs.
+func (e *Endpoint) RegisterMem(buf []byte) uint64 {
+	d := e.dom
+	d.regMu.Lock()
+	spin.Delay(d.cfg.RegisterNs)
+	key := d.fab.RegisterMem(d.rank, buf)
+	d.regMu.Unlock()
+	d.registers.Add(1)
+	return key
+}
+
+// DeregisterMem removes a registration (also under the global mutex).
+func (e *Endpoint) DeregisterMem(rkey uint64) {
+	d := e.dom
+	d.regMu.Lock()
+	spin.Delay(d.cfg.RegCacheNs)
+	d.fab.DeregisterMem(d.rank, rkey)
+	d.regMu.Unlock()
+}
+
+// String describes the endpoint for diagnostics.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("ofi-endpoint(rank=%d)", e.dom.rank)
+}

@@ -1,0 +1,106 @@
+// Package raw gives the comparison baselines (MPI-like, GASNet-EX-like)
+// direct access to the simulated providers with their native blocking
+// locks — the way real MPICH and GASNet-EX sit directly on libibverbs /
+// libfabric, without LCI's try-lock wrapper layer.
+package raw
+
+import (
+	"fmt"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+	"lci/internal/netsim/ofi"
+)
+
+// Device is the provider-neutral surface the baselines program against.
+type Device interface {
+	// Index is the endpoint index within the rank.
+	Index() int
+	// PostSend posts an eager send; returns ibv.ErrTxFull/ofi.ErrTxFull
+	// style errors on backpressure.
+	PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error
+	// PostRecvBuf pre-posts a receive buffer.
+	PostRecvBuf(buf []byte, ctx any)
+	// PostWrite posts an RMA write (optionally with immediate).
+	PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error
+	// PostRead posts an RMA read.
+	PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error
+	// PollCQ drains completions.
+	PollCQ(out []fabric.Completion) int
+	// RegisterMem/DeregisterMem manage RMA registrations.
+	RegisterMem(buf []byte) uint64
+	DeregisterMem(rkey uint64)
+}
+
+// IsTxFull reports whether err is provider transmit-queue exhaustion.
+func IsTxFull(err error) bool {
+	return err == ibv.ErrTxFull || err == ofi.ErrTxFull
+}
+
+// Provider opens devices for one rank on one provider.
+type Provider struct {
+	ibvCtx *ibv.Context
+	ofiDom *ofi.Domain
+}
+
+// Open creates a provider handle. provider is "ibv" or "ofi".
+func Open(provider string, fab *fabric.Fabric, rank int, ibvCfg ibv.Config, ofiCfg ofi.Config) (*Provider, error) {
+	switch provider {
+	case "ibv":
+		return &Provider{ibvCtx: ibv.NewContext(fab, rank, ibvCfg)}, nil
+	case "ofi":
+		return &Provider{ofiDom: ofi.NewDomain(fab, rank, ofiCfg)}, nil
+	default:
+		return nil, fmt.Errorf("raw: unknown provider %q", provider)
+	}
+}
+
+// NewDevice opens one more endpoint (one VCI / one GASNet endpoint).
+func (p *Provider) NewDevice() Device {
+	if p.ibvCtx != nil {
+		return ibvAdapter{p.ibvCtx.NewDevice()}
+	}
+	return ofiAdapter{p.ofiDom.NewEndpoint()}
+}
+
+// Name returns "ibv" or "ofi".
+func (p *Provider) Name() string {
+	if p.ibvCtx != nil {
+		return "ibv"
+	}
+	return "ofi"
+}
+
+type ibvAdapter struct{ d *ibv.Device }
+
+func (a ibvAdapter) Index() int { return a.d.Index() }
+func (a ibvAdapter) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	return a.d.PostSend(dst, dstDev, meta, data, ctx)
+}
+func (a ibvAdapter) PostRecvBuf(buf []byte, ctx any) { a.d.PostSRQRecv(buf, ctx) }
+func (a ibvAdapter) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	return a.d.PostWrite(dst, notifyDev, rkey, offset, data, imm, hasImm, ctx)
+}
+func (a ibvAdapter) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	return a.d.PostRead(dst, rkey, offset, into, ctx)
+}
+func (a ibvAdapter) PollCQ(out []fabric.Completion) int { return a.d.PollCQ(out) }
+func (a ibvAdapter) RegisterMem(buf []byte) uint64      { return a.d.RegisterMem(buf) }
+func (a ibvAdapter) DeregisterMem(rkey uint64)          { a.d.DeregisterMem(rkey) }
+
+type ofiAdapter struct{ e *ofi.Endpoint }
+
+func (a ofiAdapter) Index() int { return a.e.Index() }
+func (a ofiAdapter) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	return a.e.PostSend(dst, dstDev, meta, data, ctx)
+}
+func (a ofiAdapter) PostRecvBuf(buf []byte, ctx any) { a.e.PostRecv(buf, ctx) }
+func (a ofiAdapter) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	return a.e.PostWrite(dst, notifyDev, rkey, offset, data, imm, hasImm, ctx)
+}
+func (a ofiAdapter) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	return a.e.PostRead(dst, rkey, offset, into, ctx)
+}
+func (a ofiAdapter) PollCQ(out []fabric.Completion) int { return a.e.PollCQ(out) }
+func (a ofiAdapter) RegisterMem(buf []byte) uint64      { return a.e.RegisterMem(buf) }
+func (a ofiAdapter) DeregisterMem(rkey uint64)          { a.e.DeregisterMem(rkey) }

@@ -1,0 +1,296 @@
+// Package network is LCI's network backend layer (§5.2.1): a thin
+// abstraction over the simulated libibverbs and libfabric providers, plus
+// the try-lock wrappers of §5.2.2. The LCI runtime talks only to this
+// package; the comparison baselines (MPI-like, GASNet-EX-like) deliberately
+// bypass it and use the raw providers with blocking locks, as their real
+// counterparts do.
+//
+// A Context corresponds to an LCI runtime; a Device contains the network
+// resources accessed on the critical path. LCI requires neither tag
+// matching nor unexpected-message handling from the backend: the runtime
+// keeps devices supplied with pre-posted receives.
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+	"lci/internal/netsim/ofi"
+	"lci/internal/spin"
+)
+
+// Completion re-exports the provider completion event.
+type Completion = fabric.Completion
+
+// ErrRetry is returned when an operation must be retried: either a
+// try-lock wrapper failed to acquire a native-layer lock, or a transmit
+// queue is full. The caller distinguishes the two cases with errors.Is on
+// ErrTxFull.
+var ErrRetry = errors.New("network: busy, retry")
+
+// ErrTxFull wraps provider transmit-queue exhaustion. errors.Is(err,
+// ErrRetry) is also true for it.
+var ErrTxFull = fmt.Errorf("%w: transmit queue full", ErrRetry)
+
+// Device is the per-device backend interface consumed by the LCI runtime.
+// All methods may return ErrRetry (or ErrTxFull).
+type Device interface {
+	// Index is this device's endpoint index within its rank; symmetric
+	// jobs address peer device i by passing i as dstDev.
+	Index() int
+	// PostSend posts an eager send of data with metadata meta to endpoint
+	// dstDev of rank dst.
+	PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error
+	// PostRecv pre-posts a receive buffer.
+	PostRecv(buf []byte, ctx any) error
+	// PostWrite posts an RMA write, optionally with immediate data
+	// notifying endpoint notifyDev of the target rank.
+	PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error
+	// PostRead posts an RMA read.
+	PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error
+	// PollCQ drains up to len(out) completions, returning how many.
+	PollCQ(out []Completion) (int, error)
+	// RegisterMem registers buf for RMA and returns its rkey.
+	RegisterMem(buf []byte) (uint64, error)
+	// DeregisterMem removes a registration.
+	DeregisterMem(rkey uint64) error
+	// Close releases the device.
+	Close() error
+}
+
+// Context is the per-runtime backend handle.
+type Context interface {
+	NewDevice() (Device, error)
+	Rank() int
+	NumRanks() int
+	Name() string
+	Close() error
+}
+
+// Backend creates contexts; one Backend describes one provider
+// configuration (e.g. "ibv on SimExpanse").
+type Backend interface {
+	Name() string
+	NewContext(fab *fabric.Fabric, rank int) (Context, error)
+}
+
+// ---------------------------------------------------------------------------
+// libibverbs backend with try-lock wrappers
+
+type ibvBackend struct{ cfg ibv.Config }
+
+// NewIBV returns the libibverbs-simulation backend.
+func NewIBV(cfg ibv.Config) Backend { return &ibvBackend{cfg: cfg} }
+
+func (b *ibvBackend) Name() string { return "ibv" }
+
+func (b *ibvBackend) NewContext(fab *fabric.Fabric, rank int) (Context, error) {
+	return &ibvContext{ctx: ibv.NewContext(fab, rank, b.cfg)}, nil
+}
+
+type ibvContext struct{ ctx *ibv.Context }
+
+func (c *ibvContext) Rank() int     { return c.ctx.Rank() }
+func (c *ibvContext) NumRanks() int { return c.ctx.NumRanks() }
+func (c *ibvContext) Name() string  { return "ibv" }
+func (c *ibvContext) Close() error  { return nil }
+
+func (c *ibvContext) NewDevice() (Device, error) {
+	dev := c.ctx.NewDevice()
+	d := &ibvDevice{dev: dev}
+	// Mirror the native doorbell-lock granularity with LCI-layer
+	// try-locks (§5.2.2): one wrapper lock per native send lock, plus one
+	// for the CQ and one for the SRQ.
+	d.sendMu = make([]*spin.Mutex, dev.NumSendLocks())
+	for i := range d.sendMu {
+		d.sendMu[i] = new(spin.Mutex)
+	}
+	return d, nil
+}
+
+type ibvDevice struct {
+	dev    *ibv.Device
+	sendMu []*spin.Mutex
+	cqMu   spin.Mutex
+	srqMu  spin.Mutex
+}
+
+func (d *ibvDevice) Index() int { return d.dev.Index() }
+
+func (d *ibvDevice) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	mu := d.sendMu[d.dev.SendLockID(dst)]
+	if !mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.dev.PostSend(dst, dstDev, meta, data, ctx)
+	mu.Unlock()
+	if errors.Is(err, ibv.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ibvDevice) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	mu := d.sendMu[d.dev.SendLockID(dst)]
+	if !mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.dev.PostWrite(dst, notifyDev, rkey, offset, data, imm, hasImm, ctx)
+	mu.Unlock()
+	if errors.Is(err, ibv.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ibvDevice) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	mu := d.sendMu[d.dev.SendLockID(dst)]
+	if !mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.dev.PostRead(dst, rkey, offset, into, ctx)
+	mu.Unlock()
+	if errors.Is(err, ibv.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ibvDevice) PostRecv(buf []byte, ctx any) error {
+	// Posting receives happens on the progress path; a failed try-lock is
+	// retried on the next progress call.
+	if !d.srqMu.TryLock() {
+		return ErrRetry
+	}
+	d.dev.PostSRQRecv(buf, ctx)
+	d.srqMu.Unlock()
+	return nil
+}
+
+func (d *ibvDevice) PollCQ(out []Completion) (int, error) {
+	if !d.cqMu.TryLock() {
+		return 0, ErrRetry
+	}
+	n := d.dev.PollCQ(out)
+	d.cqMu.Unlock()
+	return n, nil
+}
+
+func (d *ibvDevice) RegisterMem(buf []byte) (uint64, error) {
+	// No user-space lock in libibverbs registration (§5.2.3).
+	return d.dev.RegisterMem(buf), nil
+}
+
+func (d *ibvDevice) DeregisterMem(rkey uint64) error {
+	d.dev.DeregisterMem(rkey)
+	return nil
+}
+
+func (d *ibvDevice) Close() error {
+	d.dev.Close()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// libfabric backend with a single per-device try-lock wrapper
+
+type ofiBackend struct{ cfg ofi.Config }
+
+// NewOFI returns the libfabric-simulation backend.
+func NewOFI(cfg ofi.Config) Backend { return &ofiBackend{cfg: cfg} }
+
+func (b *ofiBackend) Name() string { return "ofi" }
+
+func (b *ofiBackend) NewContext(fab *fabric.Fabric, rank int) (Context, error) {
+	return &ofiContext{dom: ofi.NewDomain(fab, rank, b.cfg)}, nil
+}
+
+type ofiContext struct{ dom *ofi.Domain }
+
+func (c *ofiContext) Rank() int     { return c.dom.Rank() }
+func (c *ofiContext) NumRanks() int { return c.dom.NumRanks() }
+func (c *ofiContext) Name() string  { return "ofi" }
+func (c *ofiContext) Close() error  { return nil }
+
+func (c *ofiContext) NewDevice() (Device, error) {
+	return &ofiDevice{ep: c.dom.NewEndpoint()}, nil
+}
+
+// ofiDevice uses one try-lock wrapper for the whole device except memory
+// (de)registration (§5.2.4): the endpoint lock covers everything in the
+// provider, so finer wrappers would not help.
+type ofiDevice struct {
+	ep *ofi.Endpoint
+	mu spin.Mutex
+}
+
+func (d *ofiDevice) Index() int { return d.ep.Index() }
+
+func (d *ofiDevice) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	if !d.mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.ep.PostSend(dst, dstDev, meta, data, ctx)
+	d.mu.Unlock()
+	if errors.Is(err, ofi.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ofiDevice) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	if !d.mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.ep.PostWrite(dst, notifyDev, rkey, offset, data, imm, hasImm, ctx)
+	d.mu.Unlock()
+	if errors.Is(err, ofi.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ofiDevice) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	if !d.mu.TryLock() {
+		return ErrRetry
+	}
+	err := d.ep.PostRead(dst, rkey, offset, into, ctx)
+	d.mu.Unlock()
+	if errors.Is(err, ofi.ErrTxFull) {
+		return ErrTxFull
+	}
+	return err
+}
+
+func (d *ofiDevice) PostRecv(buf []byte, ctx any) error {
+	if !d.mu.TryLock() {
+		return ErrRetry
+	}
+	d.ep.PostRecv(buf, ctx)
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *ofiDevice) PollCQ(out []Completion) (int, error) {
+	if !d.mu.TryLock() {
+		return 0, ErrRetry
+	}
+	n := d.ep.PollCQ(out)
+	d.mu.Unlock()
+	return n, nil
+}
+
+func (d *ofiDevice) RegisterMem(buf []byte) (uint64, error) {
+	// Registration bypasses the wrapper (it must block on the global
+	// registration-cache mutex regardless; there is nothing to mitigate).
+	return d.ep.RegisterMem(buf), nil
+}
+
+func (d *ofiDevice) DeregisterMem(rkey uint64) error {
+	d.ep.DeregisterMem(rkey)
+	return nil
+}
+
+func (d *ofiDevice) Close() error { return nil }

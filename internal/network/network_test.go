@@ -1,0 +1,147 @@
+package network_test
+
+import (
+	"errors"
+	"testing"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+	"lci/internal/netsim/ofi"
+	"lci/internal/network"
+)
+
+func backends() map[string]network.Backend {
+	return map[string]network.Backend{
+		"ibv": network.NewIBV(ibv.Config{SendOverheadNs: 1, RecvOverheadNs: 1}),
+		"ofi": network.NewOFI(ofi.Config{SendOverheadNs: 1, RecvOverheadNs: 1, RegCacheNs: 1, RegisterNs: 1}),
+	}
+}
+
+// TestSendRecvRoundTrip exercises the full device surface on both
+// provider simulations through the try-lock wrapper layer.
+func TestSendRecvRoundTrip(t *testing.T) {
+	for name, be := range backends() {
+		t.Run(name, func(t *testing.T) {
+			fab := fabric.New(fabric.Config{NumRanks: 2})
+			ctx0, err := be.NewContext(fab, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx1, err := be.NewContext(fab, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d0, _ := ctx0.NewDevice()
+			d1, _ := ctx1.NewDevice()
+
+			if err := d1.PostRecv(make([]byte, 64), "rx"); err != nil {
+				t.Fatal(err)
+			}
+			if err := d0.PostSend(1, 0, 7, []byte("ping"), "tx"); err != nil {
+				t.Fatal(err)
+			}
+			// Sender sees TxDone.
+			var comps [8]network.Completion
+			n, err := d0.PollCQ(comps[:])
+			if err != nil || n != 1 || comps[0].Kind != fabric.TxDone || comps[0].Ctx != "tx" {
+				t.Fatalf("tx poll: n=%d err=%v comps=%v", n, err, comps[:n])
+			}
+			// Receiver sees RxSend.
+			n, err = d1.PollCQ(comps[:])
+			if err != nil || n != 1 || comps[0].Kind != fabric.RxSend || comps[0].Ctx != "rx" || comps[0].Meta != 7 {
+				t.Fatalf("rx poll: n=%d err=%v comps=%v", n, err, comps[:n])
+			}
+		})
+	}
+}
+
+func TestTxFullBackpressure(t *testing.T) {
+	be := network.NewIBV(ibv.Config{TxDepth: 2, SendOverheadNs: 1, RecvOverheadNs: 1})
+	fab := fabric.New(fabric.Config{NumRanks: 2})
+	ctx0, _ := be.NewContext(fab, 0)
+	ctx1, _ := be.NewContext(fab, 1)
+	d0, _ := ctx0.NewDevice()
+	d1, _ := ctx1.NewDevice()
+	for i := 0; i < 8; i++ {
+		d1.PostRecv(make([]byte, 16), nil)
+	}
+	// TxDepth=2: the third un-polled send must report ErrTxFull.
+	var err error
+	for i := 0; i < 3; i++ {
+		err = d0.PostSend(1, 0, 0, []byte("x"), nil)
+	}
+	if !errors.Is(err, network.ErrTxFull) || !errors.Is(err, network.ErrRetry) {
+		t.Fatalf("expected ErrTxFull wrapping ErrRetry, got %v", err)
+	}
+	// Polling restores credits.
+	var comps [8]network.Completion
+	d0.PollCQ(comps[:])
+	if err := d0.PostSend(1, 0, 0, []byte("x"), nil); err != nil {
+		t.Fatalf("send after poll failed: %v", err)
+	}
+}
+
+func TestRMAThroughWrappers(t *testing.T) {
+	for name, be := range backends() {
+		t.Run(name, func(t *testing.T) {
+			fab := fabric.New(fabric.Config{NumRanks: 2})
+			ctx0, _ := be.NewContext(fab, 0)
+			ctx1, _ := be.NewContext(fab, 1)
+			d0, _ := ctx0.NewDevice()
+			d1, _ := ctx1.NewDevice()
+
+			region := make([]byte, 64)
+			rkey, err := d1.RegisterMem(region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d0.PostWrite(1, 0, rkey, 8, []byte("wxyz"), 55, true, "w"); err != nil {
+				t.Fatal(err)
+			}
+			if string(region[8:12]) != "wxyz" {
+				t.Fatalf("write missed: %q", region[8:12])
+			}
+			var comps [4]network.Completion
+			if n, _ := d1.PollCQ(comps[:]); n != 1 || comps[0].Kind != fabric.RxWriteImm || comps[0].Imm != 55 {
+				t.Fatalf("imm: %v", comps[:n])
+			}
+			into := make([]byte, 4)
+			if err := d0.PostRead(1, rkey, 8, into, "r"); err != nil {
+				t.Fatal(err)
+			}
+			if string(into) != "wxyz" {
+				t.Fatalf("read = %q", into)
+			}
+			if err := d1.DeregisterMem(rkey); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeviceIndexing(t *testing.T) {
+	be := network.NewIBV(ibv.Config{})
+	fab := fabric.New(fabric.Config{NumRanks: 1})
+	ctx, _ := be.NewContext(fab, 0)
+	d0, _ := ctx.NewDevice()
+	d1, _ := ctx.NewDevice()
+	if d0.Index() != 0 || d1.Index() != 1 {
+		t.Fatalf("indexes %d, %d", d0.Index(), d1.Index())
+	}
+}
+
+func TestThreadDomainStrategies(t *testing.T) {
+	fab := fabric.New(fabric.Config{NumRanks: 4})
+	for _, tc := range []struct {
+		strategy ibv.TDStrategy
+		locks    int
+	}{
+		{ibv.TDPerQP, 4}, {ibv.TDAllQP, 1}, {ibv.TDNone, 4}, // TDNone: min(nUUARs, ranks)
+	} {
+		ctx := ibv.NewContext(fab, 0, ibv.Config{Strategy: tc.strategy})
+		dev := ctx.NewDevice()
+		if got := dev.NumSendLocks(); got != tc.locks {
+			t.Errorf("strategy %v: NumSendLocks = %d, want %d", tc.strategy, got, tc.locks)
+		}
+	}
+}

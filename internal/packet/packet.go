@@ -1,0 +1,200 @@
+// Package packet implements LCI's packet pool (§5.1.2): efficient
+// allocation and deallocation of fixed-size pre-registered buffers
+// ("packets"). The pool is a collection of per-worker double-ended queues
+// whose directory is an MPMC array. Each worker puts and gets at the tail
+// of its own deque; when the local deque is empty the worker steals half
+// the victim's packets from the head of a randomly selected deque —
+// tail-local operation plus head-side stealing gives better cache
+// locality. A per-deque spinlock provides thread safety with no contention
+// on the normal path.
+//
+// C++ LCI finds the local deque through a thread_local variable; Go has no
+// goroutine-local storage, so callers hold an explicit *Worker handle
+// (registered once per goroutine, or once per device for the common
+// one-device-per-thread layout).
+package packet
+
+import (
+	"sync/atomic"
+
+	"lci/internal/mpmc"
+	"lci/internal/spin"
+)
+
+// Packet is a fixed-size pre-registered buffer. Data has the pool's full
+// packet size; users slice it as needed.
+type Packet struct {
+	Data []byte
+	pool *Pool
+}
+
+// Pool manages the packets.
+type Pool struct {
+	packetSize      int
+	packetsPerShard int
+	shards          *mpmc.Array[*shard]
+	allocated       atomic.Int64
+}
+
+// shard embeds its deque by value and pads both ends so that no two
+// shards' hot fields share a cacheline.
+type shard struct {
+	_    spin.Pad
+	mu   spin.Mutex
+	dq   mpmc.Deque[*Packet]
+	seed uint64 // per-worker xorshift state (only touched by the owner)
+	_    spin.Pad
+}
+
+// Worker is a per-goroutine (or per-device) handle into the pool.
+type Worker struct {
+	pool  *Pool
+	shard *shard
+	idx   int
+}
+
+// DefaultPacketSize is the packet buffer size (eager-protocol ceiling).
+const DefaultPacketSize = 8192
+
+// DefaultPacketsPerWorker is the number of packets pre-allocated per
+// registered worker.
+const DefaultPacketsPerWorker = 1024
+
+// NewPool creates a pool. Sizes <= 0 select the defaults.
+func NewPool(packetSize, packetsPerWorker int) *Pool {
+	if packetSize <= 0 {
+		packetSize = DefaultPacketSize
+	}
+	if packetsPerWorker <= 0 {
+		packetsPerWorker = DefaultPacketsPerWorker
+	}
+	return &Pool{
+		packetSize:      packetSize,
+		packetsPerShard: packetsPerWorker,
+		shards:          mpmc.NewArray[*shard](8),
+	}
+}
+
+// PacketSize returns the pool's packet buffer size.
+func (p *Pool) PacketSize() int { return p.packetSize }
+
+// RegisterWorker creates a new per-worker deque pre-filled with this
+// worker's packet quota and returns its handle.
+func (p *Pool) RegisterWorker() *Worker {
+	s := &shard{}
+	s.dq.Init(p.packetsPerShard)
+	backing := make([]byte, p.packetsPerShard*p.packetSize)
+	for i := 0; i < p.packetsPerShard; i++ {
+		s.dq.PushBack(&Packet{
+			Data: backing[i*p.packetSize : (i+1)*p.packetSize : (i+1)*p.packetSize],
+			pool: p,
+		})
+	}
+	idx := p.shards.Append(s)
+	s.seed = uint64(idx)*0x9e3779b97f4a7c15 + 0x1234567
+	p.allocated.Add(int64(p.packetsPerShard))
+	return &Worker{pool: p, shard: s, idx: idx}
+}
+
+// Get pops a packet from the worker's own deque tail; on local exhaustion
+// it attempts to steal half of a random victim's packets from the head.
+// Get returns nil when no packet could be found — the nonblocking failure
+// that surfaces as a Retry status from posting operations.
+func (w *Worker) Get() *Packet {
+	s := w.shard
+	s.mu.Lock()
+	pkt, ok := s.dq.PopBack()
+	s.mu.Unlock()
+	if ok {
+		return pkt
+	}
+	return w.steal()
+}
+
+// Put returns a packet to the worker's own deque tail.
+func (w *Worker) Put(pkt *Packet) {
+	if pkt == nil {
+		panic("packet: Put(nil)")
+	}
+	if pkt.pool != w.pool {
+		panic("packet: packet returned to the wrong pool")
+	}
+	s := w.shard
+	s.mu.Lock()
+	s.dq.PushBack(pkt)
+	s.mu.Unlock()
+}
+
+// nextRand advances the worker-local xorshift state. Only the owning
+// goroutine touches seed, so no synchronization is needed.
+func (w *Worker) nextRand() uint64 {
+	x := w.shard.seed
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.shard.seed = x
+	return x
+}
+
+// steal takes half of a random victim's packets from the head end,
+// keeping one for the caller. A single failed pass over a random starting
+// point returns nil.
+func (w *Worker) steal() *Packet {
+	n := w.pool.shards.Len()
+	if n <= 1 {
+		return nil
+	}
+	start := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		vIdx := (start + i) % n
+		if vIdx == w.idx {
+			continue
+		}
+		victim := w.pool.shards.Get(vIdx)
+		if !victim.mu.TryLock() { // never block on a victim
+			continue
+		}
+		take := victim.dq.Len() / 2
+		if take == 0 {
+			victim.mu.Unlock()
+			continue
+		}
+		grabbed := make([]*Packet, 0, take)
+		for j := 0; j < take; j++ {
+			pkt, ok := victim.dq.PopFront() // steal from the head
+			if !ok {
+				break
+			}
+			grabbed = append(grabbed, pkt)
+		}
+		victim.mu.Unlock()
+		if len(grabbed) == 0 {
+			continue
+		}
+		s := w.shard
+		s.mu.Lock()
+		for _, pkt := range grabbed[1:] {
+			s.dq.PushBack(pkt)
+		}
+		s.mu.Unlock()
+		return grabbed[0]
+	}
+	return nil
+}
+
+// Allocated reports the total packets ever created in the pool.
+func (p *Pool) Allocated() int64 { return p.allocated.Load() }
+
+// Available counts packets currently in deques (diagnostic; takes every
+// shard lock).
+func (p *Pool) Available() int {
+	total := 0
+	n := p.shards.Len()
+	for i := 0; i < n; i++ {
+		s := p.shards.Get(i)
+		s.mu.Lock()
+		total += s.dq.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,309 @@
+// Package lci is a Go reproduction of LCI — the Lightweight Communication
+// Interface for efficient asynchronous multithreaded communication
+// (Yan & Snir, SC '25). It provides the paper's concise interface: common
+// point-to-point primitives (send/receive, active messages, RMA put/get
+// with and without notification) in a unified PostComm operation, diverse
+// completion mechanisms (counters, synchronizers, completion queues,
+// handlers, completion graphs), explicit progress, and explicit,
+// incrementally tunable communication resources (devices, packet pools,
+// matching engines, backlog queues).
+//
+// The runtime underneath is built on atomic data structures, fine-grained
+// non-blocking locks, and the network-layer insights of the paper's §5,
+// over a simulated InfiniBand (libibverbs) or Slingshot-11 (libfabric)
+// provider — see DESIGN.md for the substitution map.
+//
+// # Quick start
+//
+//	world := lci.NewWorld(2)
+//	defer world.Close()
+//	world.Launch(func(rt *lci.Runtime) error {
+//		peer := 1 - rt.Rank()
+//		cq := lci.NewCQ()
+//		if rt.Rank() == 0 {
+//			rt.PostSend(peer, []byte("hello"), 7, cq)
+//		} else {
+//			buf := make([]byte, 16)
+//			rt.PostRecv(peer, buf, 7, cq)
+//		}
+//		for {
+//			if st, ok := cq.Pop(); ok {
+//				_ = st
+//				return nil
+//			}
+//			rt.Progress()
+//		}
+//	})
+//
+// Optional arguments use functional options — Go's equivalent of the
+// paper's C++ named-parameter idiom (§4.1): start with the plain call and
+// refine it in any order, e.g.
+//
+//	rt.PostSend(peer, buf, tag, cq, lci.WithDevice(dev), lci.WithMatchingEngine(me))
+package lci
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lci/internal/base"
+	"lci/internal/comp"
+	"lci/internal/core"
+	"lci/internal/netsim/fabric"
+	"lci/internal/network"
+	"lci/internal/packet"
+)
+
+// Re-exported vocabulary types. See package base for details.
+type (
+	// Status is the completion descriptor returned by posting operations
+	// and delivered to completion objects.
+	Status = base.Status
+	// Comp is the completion-object interface.
+	Comp = base.Comp
+	// RComp is a remote completion handle.
+	RComp = base.RComp
+	// Direction selects the data movement direction for PostComm.
+	Direction = base.Direction
+	// MatchingPolicy selects how sends and receives match.
+	MatchingPolicy = base.MatchingPolicy
+)
+
+// Re-exported completion objects.
+type (
+	// Counter counts signals (atomic integer).
+	Counter = comp.Counter
+	// Sync is the synchronizer: ready after N signals.
+	Sync = comp.Sync
+	// Handler invokes a function on each signal.
+	Handler = comp.Handler
+	// CQ is the completion queue.
+	CQ = comp.Queue
+	// Graph is the completion graph (partial-order execution).
+	Graph = comp.Graph
+	// NodeID names a completion-graph node.
+	NodeID = comp.NodeID
+)
+
+// Re-exported resources.
+type (
+	// Device encapsulates a set of low-level network resources.
+	Device = core.Device
+	// MatchEngine is an allocated matching engine.
+	MatchEngine = core.MatchEngine
+	// Worker is a packet-pool worker handle (one per goroutine).
+	Worker = packet.Worker
+	// RemoteBuffer names registered remote memory for RMA.
+	RemoteBuffer = core.RemoteBuffer
+)
+
+// Status states and retry reasons.
+const (
+	Done   = base.Done
+	Posted = base.Posted
+	Retry  = base.Retry
+
+	Out = base.Out
+	In  = base.In
+
+	MatchRankTag  = base.MatchRankTag
+	MatchRankOnly = base.MatchRankOnly
+	MatchTagOnly  = base.MatchTagOnly
+	MatchNone     = base.MatchNone
+
+	AnyTag    = base.AnyTag
+	AnySource = base.AnySource
+
+	InvalidRComp = base.InvalidRComp
+)
+
+// Errors re-exported from the runtime core.
+var (
+	ErrInvalidArgument = core.ErrInvalidArgument
+	ErrTooLarge        = core.ErrTooLarge
+	ErrClosed          = core.ErrClosed
+)
+
+// NewCQ allocates an unbounded (LCRQ-style) completion queue.
+func NewCQ() *CQ { return comp.NewQueue() }
+
+// NewFixedCQ allocates a bounded fetch-and-add-array completion queue.
+func NewFixedCQ(capacity int) *CQ { return comp.NewFixedQueue(capacity) }
+
+// NewCounter allocates a counter completion object.
+func NewCounter() *Counter { return comp.NewCounter() }
+
+// NewSync allocates a synchronizer expecting n signals.
+func NewSync(n int) *Sync { return comp.NewSync(n) }
+
+// NewGraph allocates a completion graph.
+func NewGraph() *Graph { return comp.NewGraph() }
+
+// World is a simulated cluster: a fabric plus per-rank runtime
+// configuration. It replaces process launch + PMI bootstrap for the
+// in-process simulation (DESIGN.md §2 lists the substitution).
+type World struct {
+	fab      *fabric.Fabric
+	backend  network.Backend
+	coreCfg  core.Config
+	platform Platform
+	n        int
+}
+
+// NewWorld creates an n-rank world. Options select the simulated platform
+// and runtime parameters.
+func NewWorld(n int, opts ...WorldOption) *World {
+	w := &World{platform: SimExpanse(), n: n}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.backend == nil {
+		w.backend = w.platform.Backend()
+	}
+	w.fab = fabric.New(fabric.Config{NumRanks: n, PendingCap: w.platform.PendingCap})
+	return w
+}
+
+// WorldOption configures a World.
+type WorldOption func(*World)
+
+// WithPlatform selects the simulated platform (SimExpanse or SimDelta).
+func WithPlatform(p Platform) WorldOption {
+	return func(w *World) { w.platform = p }
+}
+
+// WithRuntimeConfig overrides the per-rank runtime configuration.
+func WithRuntimeConfig(cfg core.Config) WorldOption {
+	return func(w *World) { w.coreCfg = cfg }
+}
+
+// NumRanks returns the world size.
+func (w *World) NumRanks() int { return w.n }
+
+// Fabric exposes the underlying simulated fabric (diagnostics).
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Platform returns the world's platform description.
+func (w *World) Platform() Platform { return w.platform }
+
+// Close releases world resources. (The in-process fabric is garbage
+// collected; Close exists for API symmetry and future transports.)
+func (w *World) Close() error { return nil }
+
+// NewRuntime builds the runtime for one rank (g_runtime_init's moral
+// equivalent; multiple runtimes per process are the normal case here).
+func (w *World) NewRuntime(rank int) (*Runtime, error) {
+	if rank < 0 || rank >= w.n {
+		return nil, fmt.Errorf("%w: rank %d out of range [0,%d)", ErrInvalidArgument, rank, w.n)
+	}
+	crt, err := core.NewRuntime(w.backend, w.fab, rank, w.coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{core: crt}
+	rt.barrierME = crt.NewMatchingEngine(64)
+	return rt, nil
+}
+
+// Launch runs body once per rank, each on its own goroutine, and waits for
+// all of them. The first error (if any) is returned, joined with any
+// others.
+func (w *World) Launch(body func(rt *Runtime) error) error {
+	rts := make([]*Runtime, w.n)
+	for i := range rts {
+		rt, err := w.NewRuntime(i)
+		if err != nil {
+			return err
+		}
+		rts[i] = rt
+	}
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	for i := range rts {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer rts[rank].Close()
+			errs[rank] = body(rts[rank])
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Runtime is one rank's LCI runtime.
+type Runtime struct {
+	core *core.Runtime
+
+	// barrierME is a dedicated engine for Barrier traffic, allocated
+	// first so its wire id is identical on every rank. barrierEpoch
+	// separates consecutive barriers; Barrier is a collective and must
+	// not be called concurrently from several threads of one rank.
+	barrierME    *MatchEngine
+	barrierEpoch int
+}
+
+// Rank returns this runtime's rank (get_rank_me).
+func (rt *Runtime) Rank() int { return rt.core.Rank() }
+
+// NumRanks returns the world size (get_rank_n).
+func (rt *Runtime) NumRanks() int { return rt.core.NumRanks() }
+
+// Close finalizes the runtime.
+func (rt *Runtime) Close() error { return rt.core.Close() }
+
+// Core exposes the underlying core runtime (benchmark harness use).
+func (rt *Runtime) Core() *core.Runtime { return rt.core }
+
+// NewDevice allocates a device (alloc_device).
+func (rt *Runtime) NewDevice() (*Device, error) { return rt.core.NewDevice() }
+
+// DefaultDevice returns the runtime's default device.
+func (rt *Runtime) DefaultDevice() *Device { return rt.core.DefaultDevice() }
+
+// NewMatchingEngine allocates a matching engine (0 buckets = default
+// size). All ranks must allocate engines in the same order.
+func (rt *Runtime) NewMatchingEngine(buckets int) *MatchEngine {
+	return rt.core.NewMatchingEngine(buckets)
+}
+
+// RegisterWorker registers a packet-pool worker for the calling
+// goroutine; pass it to posting calls with WithWorker for local packet
+// traffic.
+func (rt *Runtime) RegisterWorker() *Worker { return rt.core.RegisterWorker() }
+
+// RegisterRComp registers a completion object for remote signaling and
+// returns its handle (register_rcomp).
+func (rt *Runtime) RegisterRComp(c Comp) RComp { return rt.core.RegisterRComp(c) }
+
+// DeregisterRComp releases a remote completion handle.
+func (rt *Runtime) DeregisterRComp(rc RComp) { rt.core.DeregisterRComp(rc) }
+
+// RegisterMemory registers buf for RMA on a device (nil = default) and
+// returns the rkey a peer needs to address it.
+func (rt *Runtime) RegisterMemory(d *Device, buf []byte) (uint64, error) {
+	return rt.core.RegisterMemory(d, buf)
+}
+
+// DeregisterMemory removes a memory registration.
+func (rt *Runtime) DeregisterMemory(d *Device, rkey uint64) error {
+	return rt.core.DeregisterMemory(d, rkey)
+}
+
+// MaxEager returns the largest payload the eager protocol carries; larger
+// messages use the zero-copy rendezvous protocol.
+func (rt *Runtime) MaxEager() int { return rt.core.MaxEager() }
+
+// Progress makes progress on the default device (§4.2.7). Use
+// lci.OnDevice to progress a specific device.
+func (rt *Runtime) Progress() int { return rt.core.DefaultDevice().Progress() }
+
+// ProgressDevice makes progress on a specific device; d == nil selects the
+// default.
+func (rt *Runtime) ProgressDevice(d *Device) int {
+	if d == nil {
+		d = rt.core.DefaultDevice()
+	}
+	return d.Progress()
+}

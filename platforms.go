@@ -1,0 +1,76 @@
+package lci
+
+import (
+	"lci/internal/netsim/ibv"
+	"lci/internal/netsim/ofi"
+	"lci/internal/network"
+)
+
+// Platform describes a simulated evaluation platform (Table 2 of the
+// paper). The real systems are not available here; each platform maps to
+// a provider simulation whose lock structure and per-operation costs
+// mirror the paper's analysis (DESIGN.md §2).
+type Platform struct {
+	// Name labels the platform ("SimExpanse", "SimDelta").
+	Name string
+	// NIC and Network describe what is being simulated.
+	NIC, Network string
+	// Provider is "ibv" or "ofi".
+	Provider string
+	// IBV holds the provider parameters when Provider == "ibv".
+	IBV ibv.Config
+	// OFI holds the provider parameters when Provider == "ofi".
+	OFI ofi.Config
+	// PendingCap bounds per-endpoint RNR buffering on the fabric.
+	PendingCap int
+}
+
+// Backend builds the network backend for this platform.
+func (p Platform) Backend() network.Backend {
+	if p.Provider == "ofi" {
+		return network.NewOFI(p.OFI)
+	}
+	return network.NewIBV(p.IBV)
+}
+
+// SimExpanse models SDSC Expanse: Mellanox ConnectX-6 HDR InfiniBand via
+// libibverbs (mlx5). Fine-grained provider locks (per QP/CQ/SRQ, thread
+// domains) let replicated LCI devices scale.
+func SimExpanse() Platform {
+	return Platform{
+		Name:     "SimExpanse",
+		NIC:      "sim-ConnectX-6",
+		Network:  "sim-HDR-InfiniBand(2x50Gbps)",
+		Provider: "ibv",
+		IBV: ibv.Config{
+			TxDepth:        256,
+			SendOverheadNs: 150,
+			RecvOverheadNs: 100,
+			Strategy:       ibv.TDPerQP,
+		},
+		PendingCap: 1024,
+	}
+}
+
+// SimDelta models NCSA Delta: HPE Cassini Slingshot-11 via the libfabric
+// cxi provider. The single endpoint lock and the global registration-cache
+// mutex consulted on every operation cap multithreaded scaling (§5.2.4).
+func SimDelta() Platform {
+	return Platform{
+		Name:     "SimDelta",
+		NIC:      "sim-Cassini",
+		Network:  "sim-Slingshot-11(200Gbps)",
+		Provider: "ofi",
+		OFI: ofi.Config{
+			TxDepth:        256,
+			SendOverheadNs: 200,
+			RecvOverheadNs: 120,
+			RegCacheNs:     60,
+			RegisterNs:     400,
+		},
+		PendingCap: 1024,
+	}
+}
+
+// Platforms returns both simulated platforms in evaluation order.
+func Platforms() []Platform { return []Platform{SimExpanse(), SimDelta()} }
