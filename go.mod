@@ -1,0 +1,3 @@
+module lci
+
+go 1.24

@@ -11,6 +11,8 @@
 package backlog
 
 import (
+	"sync/atomic"
+
 	"lci/internal/mpmc"
 	"lci/internal/spin"
 )
@@ -19,11 +21,14 @@ import (
 // a retryable error to stay parked.
 type Op func() error
 
-// Queue is the backlog queue.
+// Queue is the backlog queue. The nonEmpty flag sits first so the
+// progress engine's every-poll emptiness check reads the struct's first
+// cache line; the lock and deque behind it are only touched when work is
+// actually parked.
 type Queue struct {
+	nonEmpty atomic.Bool
 	mu       spin.Mutex
 	dq       *mpmc.Deque[Op]
-	nonEmpty spin.Flag
 }
 
 // New returns an empty backlog queue.
@@ -36,11 +41,11 @@ func (q *Queue) Push(op Op) {
 	q.mu.Lock()
 	q.dq.PushBack(op)
 	q.mu.Unlock()
-	q.nonEmpty.Set(true)
+	q.nonEmpty.Store(true)
 }
 
 // Empty reports (without locking) whether the backlog is empty.
-func (q *Queue) Empty() bool { return !q.nonEmpty.Get() }
+func (q *Queue) Empty() bool { return !q.nonEmpty.Load() }
 
 // Len returns the current queue length.
 func (q *Queue) Len() int {
@@ -62,7 +67,7 @@ func (q *Queue) Drain(retryable func(error) bool) int {
 		q.mu.Lock()
 		op, ok := q.dq.PopFront()
 		if !ok {
-			q.nonEmpty.Set(false)
+			q.nonEmpty.Store(false)
 			q.mu.Unlock()
 			return done
 		}
@@ -73,7 +78,7 @@ func (q *Queue) Drain(retryable func(error) bool) int {
 				q.mu.Lock()
 				q.dq.PushFront(op)
 				q.mu.Unlock()
-				q.nonEmpty.Set(true)
+				q.nonEmpty.Store(true)
 				return done
 			}
 			// Non-retryable errors are dropped here; the op itself is

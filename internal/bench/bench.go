@@ -52,7 +52,9 @@ func (r BWResult) String() string {
 // single-threaded ranks per "node" (2*pairs ranks total), 8-byte AM
 // ping-pongs, iters per pair. Rank i pairs with rank i+pairs.
 func MessageRateProcess(kind lcw.Kind, platform lci.Platform, pairs, iters int) (RateResult, error) {
-	cfg := lcw.Config{Kind: kind, Ranks: 2 * pairs, ThreadsPerRank: 1}
+	// 8-byte payloads: size packets accordingly so the pre-posted receive
+	// window stays cache-resident (every backend gets the same sizing).
+	cfg := lcw.Config{Kind: kind, Ranks: 2 * pairs, ThreadsPerRank: 1, MaxAM: 64}
 	job, err := lcw.NewJob(cfg, platform)
 	if err != nil {
 		return RateResult{}, err
@@ -78,7 +80,7 @@ func MessageRateProcess(kind lcw.Kind, platform lci.Platform, pairs, iters int) 
 // ("one process per node"), threads goroutines per rank, 8-byte AM
 // ping-pongs, dedicated or shared resources.
 func MessageRateThread(kind lcw.Kind, platform lci.Platform, threads, iters int, dedicated bool) (RateResult, error) {
-	cfg := lcw.Config{Kind: kind, Ranks: 2, ThreadsPerRank: threads, Dedicated: dedicated}
+	cfg := lcw.Config{Kind: kind, Ranks: 2, ThreadsPerRank: threads, Dedicated: dedicated, MaxAM: 64}
 	job, err := lcw.NewJob(cfg, platform)
 	if err != nil {
 		return RateResult{}, err

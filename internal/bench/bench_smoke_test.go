@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"runtime"
 	"testing"
 
 	"lci"
@@ -11,12 +12,17 @@ import (
 // TestFig4Shape is the reproduction's headline assertion: with many
 // threads, LCI's dedicated-device mode beats standard MPI's shared mode
 // by a wide margin (the paper reports >10x at scale; we require >2x at a
-// modest thread count to stay robust on small CI machines).
+// modest thread count to stay robust on small CI machines). The measured
+// points are written to BENCH_fig4.json so the perf trajectory is tracked
+// run over run.
 func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multithreaded rate comparison is not short")
 	}
-	const threads, iters = 8, 2000
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
+	}
+	const threads, iters = 8, 12000
 	lciRes, err := bench.MessageRateThread(lcw.LCI, lci.SimExpanse(), threads, iters, true)
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +33,9 @@ func TestFig4Shape(t *testing.T) {
 	}
 	t.Logf("lci dedicated: %v", lciRes)
 	t.Logf("mpi shared:    %v", mpiRes)
+	if err := bench.WriteJSON("fig4", runtime.GOMAXPROCS(0), []bench.RateResult{lciRes, mpiRes}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
 	if lciRes.RateMps < 2*mpiRes.RateMps {
 		t.Errorf("expected LCI dedicated >> MPI shared, got %.3f vs %.3f Mmsg/s",
 			lciRes.RateMps, mpiRes.RateMps)
@@ -35,9 +44,13 @@ func TestFig4Shape(t *testing.T) {
 
 // TestFig6Shape asserts the resource-throughput ordering of Figure 6:
 // packet pool > matching engine > completion queue at high thread counts.
+// The measured points are written to BENCH_fig6.json.
 func TestFig6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("resource throughput comparison is not short")
+	}
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
 	}
 	const threads, iters = 8, 200_000
 	pool, err := bench.ResourceThroughput("packet", threads, iters)
@@ -53,6 +66,9 @@ func TestFig6Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("%v\n%v\n%v", pool, match, cq)
+	if err := bench.WriteJSON("fig6", runtime.GOMAXPROCS(0), []bench.ResResult{pool, match, cq}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
 	if !(pool.Mops > match.Mops && match.Mops > cq.Mops) {
 		t.Errorf("expected pool > matching > cq, got %.1f / %.1f / %.1f Mops",
 			pool.Mops, match.Mops, cq.Mops)

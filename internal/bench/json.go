@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Artifact is the envelope written around benchmark results so that runs
+// are comparable over time: the repository tracks BENCH_fig4.json and
+// BENCH_fig6.json at its root, and CI republishes them on every run.
+type Artifact struct {
+	Bench     string `json:"bench"`
+	Timestamp string `json:"timestamp"`
+	GoMaxProc int    `json:"gomaxprocs"`
+	Results   any    `json:"results"`
+}
+
+// ArtifactDir returns the directory benchmark JSON artifacts are written
+// to: $LCI_BENCH_DIR if set, else the module root (found by walking up
+// from the working directory to the nearest go.mod, so `go test` runs
+// refresh the tracked repo-root copies), else the working directory.
+func ArtifactDir() string {
+	if d := os.Getenv("LCI_BENCH_DIR"); d != "" {
+		return d
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// WriteJSON writes results as an indented JSON artifact named
+// BENCH_<name>.json in ArtifactDir. Errors are returned, not fatal: a
+// read-only checkout must not fail the benchmark that produced the data.
+func WriteJSON(name string, gomaxprocs int, results any) error {
+	art := Artifact{
+		Bench:     name,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProc: gomaxprocs,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(ArtifactDir(), "BENCH_"+name+".json")
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// RaceEnabled reports that the race detector is active; the perf-shape
+// assertions skip under it (the detector's ~20x slowdown distorts the
+// very ratios they check), while the correctness suites still run.
+const RaceEnabled = true

@@ -91,8 +91,14 @@ var _ base.Comp = (*Sync)(nil)
 // LCRQ-style unbounded MPMC queue; NewFixedQueue gives the bounded
 // fetch-and-add array variant (§5.1.4).
 type Queue struct {
-	q *mpmc.Queue[base.Status] // nil when r is used
-	r *mpmc.Ring[base.Status]
+	// mayHave is a conservative non-emptiness hint: set after every
+	// Signal, cleared by a failed Pop. Progress loops pop far more often
+	// than signals arrive, and the hint turns an empty Pop into a single
+	// load of this struct's first cache line instead of a walk of the
+	// queue's internals.
+	mayHave atomic.Bool
+	q       *mpmc.Queue[base.Status] // nil when r is used
+	r       *mpmc.Ring[base.Status]
 	// dropped counts signals lost to a full fixed-size queue; the
 	// unbounded variant never drops.
 	dropped atomic.Int64
@@ -113,16 +119,40 @@ func NewFixedQueue(capacity int) *Queue {
 func (q *Queue) Signal(s base.Status) {
 	if q.q != nil {
 		q.q.Enqueue(s)
+		q.mayHave.Store(true)
 		return
 	}
 	if !q.r.Enqueue(s) {
 		q.dropped.Add(1)
+		return
 	}
+	q.mayHave.Store(true)
 }
 
 // Pop removes the oldest completion, reporting false when the queue is
 // empty (the cq_pop "retry" case in the paper's Listing 2).
+//
+// The hint protocol never loses an element: every Signal stores true
+// AFTER its enqueue, and Pop re-checks the queue AFTER storing false, so
+// an element missed by the re-check was enqueued later and its producer's
+// store of true also lands later, overwriting the false.
 func (q *Queue) Pop() (base.Status, bool) {
+	if !q.mayHave.Load() {
+		return base.Status{}, false
+	}
+	if st, ok := q.pop(); ok {
+		return st, true
+	}
+	q.mayHave.Store(false)
+	if st, ok := q.pop(); ok {
+		// The queue was not empty after all; keep the hint conservative.
+		q.mayHave.Store(true)
+		return st, true
+	}
+	return base.Status{}, false
+}
+
+func (q *Queue) pop() (base.Status, bool) {
 	if q.q != nil {
 		return q.q.Dequeue()
 	}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"sync"
+	"lci/internal/spin"
 	"sync/atomic"
 
 	"lci/internal/backlog"
@@ -28,9 +28,17 @@ type Device struct {
 	// (or never posted) and must be replenished by progress.
 	recvDeficit atomic.Int64
 
-	// stats
-	statProgress atomic.Int64
-	statComps    atomic.Int64
+	// pollMu admits one poller at a time to the completion-handling slow
+	// path (the paper's try-lock rule: one poller proceeds, the rest return
+	// immediately, §5.2.2). It also makes compBatch single-owner, so the
+	// poll batch lives in the device instead of a shared pool.
+	pollMu    spin.Lock
+	compBatch []network.Completion
+
+	// stats (updated only on rounds that found work; the empty-poll fast
+	// path touches nothing shared)
+	statRounds atomic.Int64
+	statComps  atomic.Int64
 }
 
 // NewDevice allocates a new device (alloc_device in the paper).
@@ -43,10 +51,11 @@ func (rt *Runtime) NewDevice() (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		rt:     rt,
-		net:    nd,
-		worker: rt.pool.RegisterWorker(),
-		bq:     backlog.New(),
+		rt:        rt,
+		net:       nd,
+		worker:    rt.pool.RegisterWorker(),
+		bq:        backlog.New(),
+		compBatch: make([]network.Completion, 32),
 	}
 	d.recvDeficit.Store(int64(rt.cfg.PreRecvs))
 	d.replenish(d.worker)
@@ -76,18 +85,29 @@ func retryable(err error) bool {
 var errNoPacket = errors.New("lci: packet pool empty")
 
 // replenish posts packets as receive buffers until the deficit is zero, a
-// packet cannot be obtained, or the network refuses.
+// packet cannot be obtained, or the network refuses. Each posting claims
+// its deficit slot by CAS first: concurrent replenishers (shared-device
+// mode) must not both post against the same slot, which would drive the
+// deficit negative and grow the posted window beyond PreRecvs.
 func (d *Device) replenish(w *packet.Worker) {
-	for d.recvDeficit.Load() > 0 {
+	for {
+		n := d.recvDeficit.Load()
+		if n <= 0 {
+			return
+		}
+		if !d.recvDeficit.CompareAndSwap(n, n-1) {
+			continue
+		}
 		pkt := w.Get()
 		if pkt == nil {
+			d.recvDeficit.Add(1)
 			return
 		}
 		if err := d.net.PostRecv(pkt.Data, pkt); err != nil {
 			w.Put(pkt)
+			d.recvDeficit.Add(1)
 			return
 		}
-		d.recvDeficit.Add(-1)
 	}
 }
 
@@ -95,29 +115,30 @@ func (d *Device) replenish(w *packet.Worker) {
 // queue, replenishes pre-posted receives, polls the network completion
 // queue, and reacts to completions (reactions 3–8 of Figure 2). It returns
 // the number of network completions processed. Any thread may call
-// Progress on any device; concurrent polls are resolved by the try-lock
-// wrappers (one poller proceeds, others return immediately).
+// Progress on any device; concurrent polls are resolved by try-locks (one
+// poller proceeds, others return immediately).
 func (d *Device) Progress() int {
 	return d.ProgressW(d.worker)
-}
-
-// compBatchPool recycles poll batches: the batch must not live in the
-// Device (concurrent pollers would race on it after the CQ try-lock is
-// released) and allocating 32 completion slots per progress call would
-// dominate the fast path.
-var compBatchPool = sync.Pool{
-	New: func() any {
-		b := make([]network.Completion, 32)
-		return &b
-	},
 }
 
 // ProgressW is Progress with an explicit packet-pool worker, letting a
 // goroutine that registered its own worker keep packet traffic on its
 // local deque.
+//
+// The common case by far is "nothing to do": pollers spin on progress far
+// more often than completions arrive, so the empty round is three plain
+// loads — backlog flag, receive deficit, CQE-ring peek — with no lock, no
+// atomic write, and no batch-buffer traffic. Everything else lives in the
+// slow path.
 func (d *Device) ProgressW(w *packet.Worker) int {
-	d.statProgress.Add(1)
+	if d.bq.Empty() && d.recvDeficit.Load() <= 0 && d.net.CQEmpty() {
+		return 0
+	}
+	return d.progressSlow(w)
+}
 
+// progressSlow is the found-work half of ProgressW.
+func (d *Device) progressSlow(w *packet.Worker) int {
 	// (3) retry postponed requests first, preserving their order.
 	if !d.bq.Empty() {
 		d.bq.Drain(retryable)
@@ -128,21 +149,32 @@ func (d *Device) ProgressW(w *packet.Worker) int {
 		d.replenish(w)
 	}
 
-	// (4) poll the device for completed operations.
-	batch := compBatchPool.Get().(*[]network.Completion)
-	comps := *batch
+	// (4) poll the device for completed operations. One poller at a time:
+	// the batch buffer is owned by whoever holds pollMu, and a concurrent
+	// poller returning early loses nothing (the winner drains the CQ).
+	if !d.pollMu.TryLock() {
+		return 0
+	}
+	comps := d.compBatch
 	n, err := d.net.PollCQ(comps)
 	if err != nil || n == 0 {
-		compBatchPool.Put(batch)
+		d.pollMu.Unlock()
 		return 0
 	}
 	for i := 0; i < n; i++ {
 		d.handleCompletion(&comps[i], w)
 		comps[i] = network.Completion{} // drop references for the GC
 	}
-	compBatchPool.Put(batch)
+	d.pollMu.Unlock()
+	d.statRounds.Add(1)
 	d.statComps.Add(int64(n))
 	return n
+}
+
+// Stats reports how many progress rounds found completions and how many
+// completions were processed (diagnostics).
+func (d *Device) Stats() (rounds, comps int64) {
+	return d.statRounds.Load(), d.statComps.Load()
 }
 
 // handleCompletion reacts to one network completion.

@@ -76,16 +76,16 @@ func (c Config) withDefaults() Config {
 // process (library composition; and the simulation hosts every rank in one
 // process).
 type Runtime struct {
-	cfg    Config
-	netctx network.Context
-	pool   *packet.Pool
+	cfg     Config
+	netctx  network.Context
+	pool    *packet.Pool
 	defME   *matching.Engine
 	engines *mpmc.Array[*matching.Engine]
 	defDev  *Device
 	rcomps  *mpmc.Array[base.Comp]
-	rank   int
-	nranks int
-	closed bool
+	rank    int
+	nranks  int
+	closed  bool
 }
 
 // NewRuntime builds a runtime for rank over the given backend and fabric.

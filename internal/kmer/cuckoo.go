@@ -25,11 +25,11 @@ type CountMap struct {
 const cmSlots = 4
 
 type cmBucket struct {
-	mu    spin.Mutex
-	used  [cmSlots]bool
-	keys  [cmSlots]Kmer
-	vals  [cmSlots]*atomic.Int64
-	_     spin.Pad
+	mu   spin.Mutex
+	used [cmSlots]bool
+	keys [cmSlots]Kmer
+	vals [cmSlots]*atomic.Int64
+	_    spin.Pad
 }
 
 // NewCountMap sizes the table for about capacity distinct keys at ~50%

@@ -26,7 +26,8 @@ func NewGASNetJob(cfg Config, provider string, ibvCfg ibv.Config, ofiCfg ofi.Con
 		if err != nil {
 			return nil, err
 		}
-		g := gasnetsim.New(prov, r, cfg.Ranks, gasnetsim.Config{})
+		_, packetSize, preRecvs := cfg.sizing()
+		g := gasnetsim.New(prov, r, cfg.Ranks, gasnetsim.Config{PacketSize: packetSize, PreRecvs: preRecvs})
 		c := &gasnetComm{g: g, threads: make([]*gasnetThread, cfg.ThreadsPerRank)}
 		for t := 0; t < cfg.ThreadsPerRank; t++ {
 			c.threads[t] = &gasnetThread{comm: c, idx: t, inbox: mpmc.NewQueue[Message](256)}

@@ -19,6 +19,13 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 	if cfg.Ranks < 1 || cfg.ThreadsPerRank < 1 {
 		return nil, fmt.Errorf("lcw: need at least 1 rank and 1 thread")
 	}
+	_, packetSize, preRecvs := cfg.sizing()
+	if coreCfg.PacketSize == 0 {
+		coreCfg.PacketSize = packetSize
+	}
+	if coreCfg.PreRecvs == 0 {
+		coreCfg.PreRecvs = preRecvs
+	}
 	world := lci.NewWorld(cfg.Ranks, lci.WithPlatform(platform), lci.WithRuntimeConfig(coreCfg))
 	j := &Job{cfg: cfg, fab: world.Fabric()}
 	for r := 0; r < cfg.Ranks; r++ {
@@ -48,6 +55,7 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 			} else {
 				th.dev = rt.DefaultDevice() // shared: everyone on the default
 			}
+			th.opts = core.Options{Device: th.dev, Worker: th.worker, RemoteDevice: th.devHint()}
 			c.threads[t] = th
 		}
 		j.comms = append(j.comms, c)
@@ -68,20 +76,21 @@ func (c *lciComm) SupportsSendRecv() bool { return true }
 func (c *lciComm) Close() error           { return c.rt.Close() }
 
 type lciThread struct {
-	comm    *lciComm
-	idx     int
-	dev     *lci.Device
-	worker  *packet.Worker
-	amq     *comp.Queue   // incoming AMs (one CQ per thread, as in Fig. 4's setup)
-	rcomp   base.RComp    // this thread's AM target handle (symmetric across ranks)
-	sendCnt *comp.Counter // completed two-sided sends
-	recvCnt *comp.Counter
+	comm          *lciComm
+	idx           int
+	dev           *lci.Device
+	worker        *packet.Worker
+	amq           *comp.Queue   // incoming AMs (one CQ per thread, as in Fig. 4's setup)
+	rcomp         base.RComp    // this thread's AM target handle (symmetric across ranks)
+	sendCnt       *comp.Counter // completed two-sided sends
+	recvCnt       *comp.Counter
 	sendLocalDone int64 // sends completed inline (inject path)
 	recvLocalDone int64
-}
 
-func (t *lciThread) opts() []lci.Option {
-	return []lci.Option{lci.WithDevice(t.dev), lci.WithWorker(t.worker), lci.WithRemoteDevice(t.devHint())}
+	// opts is the thread's posting-option struct, built once: the
+	// functional-option rendering (lci.WithDevice, ...) allocates a slice
+	// and closures per call, which the per-message fast path cannot afford.
+	opts core.Options
 }
 
 // devHint addresses the peer's same-index endpoint. In dedicated mode
@@ -94,7 +103,9 @@ func (t *lciThread) devHint() int {
 }
 
 func (t *lciThread) SendAM(dst int, data []byte) bool {
-	st, err := t.comm.rt.PostAM(dst, data, t.idx, t.rcomp, nil, t.opts()...)
+	o := t.opts
+	o.RComp = t.rcomp
+	st, err := t.comm.rt.Core().PostAM(dst, data, t.idx, nil, o)
 	if err != nil {
 		panic(fmt.Sprintf("lcw/lci: PostAM: %v", err))
 	}
@@ -105,7 +116,12 @@ func (t *lciThread) PollAM() (Message, bool) {
 	if st, ok := t.amq.Pop(); ok {
 		return Message{Src: st.Rank, Data: st.Buffer}, true
 	}
-	t.Progress()
+	// Progress reports how many completions it handled; when the round was
+	// empty there is nothing to pop, so the miss path is one queue peek and
+	// one progress round.
+	if t.dev.ProgressW(t.worker) == 0 {
+		return Message{}, false
+	}
 	if st, ok := t.amq.Pop(); ok {
 		return Message{Src: st.Rank, Data: st.Buffer}, true
 	}
@@ -113,7 +129,7 @@ func (t *lciThread) PollAM() (Message, bool) {
 }
 
 func (t *lciThread) Send(dst int, data []byte) bool {
-	st, err := t.comm.rt.PostSend(dst, data, t.idx, t.sendCnt, t.opts()...)
+	st, err := t.comm.rt.Core().PostSend(dst, data, t.idx, t.sendCnt, t.opts)
 	if err != nil {
 		panic(fmt.Sprintf("lcw/lci: PostSend: %v", err))
 	}
@@ -129,7 +145,7 @@ func (t *lciThread) Send(dst int, data []byte) bool {
 func (t *lciThread) SendsDone() int64 { return t.sendCnt.Load() + t.sendLocalDone }
 
 func (t *lciThread) Recv(src int, buf []byte) bool {
-	st, err := t.comm.rt.PostRecv(src, buf, t.idx, t.recvCnt, t.opts()...)
+	st, err := t.comm.rt.Core().PostRecv(src, buf, t.idx, t.recvCnt, t.opts)
 	if err != nil {
 		panic(fmt.Sprintf("lcw/lci: PostRecv: %v", err))
 	}

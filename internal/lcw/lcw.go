@@ -59,7 +59,33 @@ type Config struct {
 	ThreadsPerRank int
 	Dedicated      bool // dedicated resources (device/VCI per thread)
 	// MaxAM bounds AM payloads the job will carry (default 8192-64).
+	// Benchmarks with small fixed-size messages set it low: every backend
+	// sizes its receive packets from it, which keeps the pre-posted buffer
+	// working set cache-resident instead of rotating through megabytes of
+	// cold 8 KiB buffers for 8-byte payloads.
 	MaxAM int
+	// PreRecvs is the pre-posted receive depth per device/VCI/endpoint
+	// (default 128), applied identically to every backend.
+	PreRecvs int
+}
+
+// sizing resolves the buffer knobs every backend shares: the AM payload
+// ceiling, the wire packet size that carries it (header room included,
+// power of two, minimum 256), and the pre-posted receive depth.
+func (c Config) sizing() (maxAM, packetSize, preRecvs int) {
+	maxAM = c.MaxAM
+	if maxAM <= 0 {
+		maxAM = 8192 - 64
+	}
+	packetSize = 256
+	for packetSize < maxAM+64 {
+		packetSize <<= 1
+	}
+	preRecvs = c.PreRecvs
+	if preRecvs <= 0 {
+		preRecvs = 128
+	}
+	return maxAM, packetSize, preRecvs
 }
 
 // Message is a received active message.

@@ -3,6 +3,7 @@ package lcw_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,11 @@ import (
 	"lci"
 	"lci/internal/lcw"
 )
+
+// testDeadline bounds one ping-pong phase. Generous versus the
+// milliseconds a healthy run takes, small enough that a livelocked
+// configuration fails the suite instead of hanging it.
+const testDeadline = 10 * time.Second
 
 // pingPongOnce runs a tiny AM ping-pong across every thread pair of a
 // freshly built job and verifies payload integrity.
@@ -21,10 +27,32 @@ func pingPongOnce(t *testing.T, cfg lcw.Config, platform lci.Platform) {
 	}
 	defer job.Close()
 
-	const iters = 50
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, 2*cfg.ThreadsPerRank)
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(testDeadline)
+
+	// pollUntil spins on PollAM, yielding to the scheduler on misses: on a
+	// single-core runner an unyielding spin burns a whole preemption
+	// quantum (~10ms) per handoff and turns a millisecond test into
+	// minutes. The deadline is checked only every few hundred misses —
+	// time.Now per poll would dominate the loop.
+	pollUntil := func(h lcw.Thread) (lcw.Message, bool) {
+		for miss := 0; ; miss++ {
+			if m, ok := h.PollAM(); ok {
+				return m, true
+			}
+			if miss&15 == 15 {
+				runtime.Gosched()
+			}
+			if miss&255 == 255 && time.Now().After(deadline) {
+				return lcw.Message{}, false
+			}
+		}
+	}
 
 	for r := 0; r < 2; r++ {
 		for th := 0; th < cfg.ThreadsPerRank; th++ {
@@ -34,40 +62,23 @@ func pingPongOnce(t *testing.T, cfg lcw.Config, platform lci.Platform) {
 				h := job.Comm(rank).Thread(tid)
 				peer := 1 - rank
 				msg := []byte(fmt.Sprintf("r%dt%d", rank, tid))
+				want := fmt.Sprintf("r%dt%d", peer, tid)
 				for i := 0; i < iters; i++ {
 					if rank == 0 {
 						for !h.SendAM(peer, msg) {
 							h.Progress()
 						}
-						for {
-							if m, ok := h.PollAM(); ok {
-								want := fmt.Sprintf("r1t%d", tid)
-								if string(m.Data) != want {
-									errCh <- fmt.Errorf("thread %d got %q want %q", tid, m.Data, want)
-									return
-								}
-								break
-							}
-							if time.Now().After(deadline) {
-								errCh <- fmt.Errorf("rank0 thread %d timed out at iter %d", tid, i)
-								return
-							}
-						}
-					} else {
-						for {
-							if m, ok := h.PollAM(); ok {
-								want := fmt.Sprintf("r0t%d", tid)
-								if string(m.Data) != want {
-									errCh <- fmt.Errorf("thread %d got %q want %q", tid, m.Data, want)
-									return
-								}
-								break
-							}
-							if time.Now().After(deadline) {
-								errCh <- fmt.Errorf("rank1 thread %d timed out at iter %d", tid, i)
-								return
-							}
-						}
+					}
+					m, ok := pollUntil(h)
+					if !ok {
+						errCh <- fmt.Errorf("rank%d thread %d timed out at iter %d", rank, tid, i)
+						return
+					}
+					if string(m.Data) != want {
+						errCh <- fmt.Errorf("rank%d thread %d got %q want %q", rank, tid, m.Data, want)
+						return
+					}
+					if rank == 1 {
 						for !h.SendAM(peer, msg) {
 							h.Progress()
 						}
@@ -106,6 +117,10 @@ func TestAMPingPongAllBackends(t *testing.T) {
 }
 
 func TestSendRecvBackends(t *testing.T) {
+	sizes := []int{8, 4096, 65536}
+	if testing.Short() {
+		sizes = []int{8, 65536} // keep one eager and one rendezvous size
+	}
 	for _, tc := range []struct {
 		kind      lcw.Kind
 		dedicated bool
@@ -115,7 +130,7 @@ func TestSendRecvBackends(t *testing.T) {
 		{lcw.MPI, false},
 		{lcw.MPIX, true},
 	} {
-		for _, size := range []int{8, 4096, 65536} {
+		for _, size := range sizes {
 			name := fmt.Sprintf("%s/dedicated=%v/size=%d", tc.kind, tc.dedicated, size)
 			t.Run(name, func(t *testing.T) {
 				job, err := lcw.NewJob(lcw.Config{
@@ -129,7 +144,10 @@ func TestSendRecvBackends(t *testing.T) {
 					t.Skip("backend has no send-recv")
 				}
 
-				const iters = 20
+				iters := 20
+				if testing.Short() {
+					iters = 5
+				}
 				var wg sync.WaitGroup
 				errCh := make(chan error, 4)
 				for r := 0; r < 2; r++ {
@@ -144,7 +162,7 @@ func TestSendRecvBackends(t *testing.T) {
 								out[i] = byte(rank*3 + tid*7 + i)
 							}
 							in := make([]byte, size)
-							deadline := time.Now().Add(30 * time.Second)
+							deadline := time.Now().Add(testDeadline)
 							for i := 0; i < iters; i++ {
 								for !h.Recv(peer, in) {
 									h.Progress()
@@ -152,9 +170,12 @@ func TestSendRecvBackends(t *testing.T) {
 								for !h.Send(peer, out) {
 									h.Progress()
 								}
-								for h.RecvsDone() < int64(i+1) {
+								for miss := 0; h.RecvsDone() < int64(i+1); miss++ {
 									h.Progress()
-									if time.Now().After(deadline) {
+									if miss&15 == 15 {
+										runtime.Gosched()
+									}
+									if miss&255 == 255 && time.Now().After(deadline) {
 										errCh <- fmt.Errorf("rank %d thread %d stuck at iter %d", rank, tid, i)
 										return
 									}
@@ -168,8 +189,11 @@ func TestSendRecvBackends(t *testing.T) {
 									return
 								}
 							}
-							for h.SendsDone() < int64(iters) {
+							for miss := 0; h.SendsDone() < int64(iters); miss++ {
 								h.Progress()
+								if miss&15 == 15 {
+									runtime.Gosched()
+								}
 							}
 						}(r, tid)
 					}

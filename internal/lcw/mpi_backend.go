@@ -35,6 +35,7 @@ func NewMPIJob(cfg Config, kind Kind, provider string, ibvCfg ibv.Config, ofiCfg
 	if kind == MPIX && cfg.Dedicated {
 		numVCIs = cfg.ThreadsPerRank
 	}
+	maxAM, packetSize, preRecvs := cfg.sizing()
 	fab := fabric.New(fabric.Config{NumRanks: cfg.Ranks})
 	j := &Job{cfg: cfg, fab: fab}
 	for r := 0; r < cfg.Ranks; r++ {
@@ -46,12 +47,10 @@ func NewMPIJob(cfg Config, kind Kind, provider string, ibvCfg ibv.Config, ofiCfg
 			NumVCIs:               numVCIs,
 			AssertNoAnyTag:        true,
 			AssertAllowOvertaking: true,
+			PacketSize:            packetSize,
+			PreRecvs:              preRecvs,
 		})
 		c := &mpiComm{m: m, threads: make([]*mpiThread, cfg.ThreadsPerRank)}
-		maxAM := cfg.MaxAM
-		if maxAM <= 0 {
-			maxAM = 8192 - 64
-		}
 		for t := 0; t < cfg.ThreadsPerRank; t++ {
 			th := &mpiThread{comm: c, idx: t, comm16: t}
 			if !cfg.Dedicated {

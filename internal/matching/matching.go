@@ -3,15 +3,19 @@
 // target side under the relaxed send-receive semantics of §4.3.2
 // (out-of-order delivery, restricted wildcard matching).
 //
-// The table has a power-of-two number of buckets (65536 by default), each
-// protected by its own spinlock. With bucket count far above the thread
-// count, contention is negligible. A bucket holds entries keyed by the
-// match key; each entry holds a same-key queue of unmatched sends or
-// receives (at any moment at most one of the two queues is non-empty).
-// Following the paper's low-load-factor optimization, both the per-bucket
-// entry list and the per-entry queues store their first few elements in
-// fixed-size inline arrays, so an insertion at low load touches a single
-// cache line run.
+// The table has a power-of-two number of buckets, each a compact
+// fixed-layout record: an unpadded spinlock word, a slot count, and a few
+// inline (key, type, value) slots, with a rarely-touched overflow slice for
+// high load. Lock word and first slots share the bucket's cache lines, so
+// at the low load factors the engine is tuned for (bucket count far above
+// the number of in-flight operations) an insert-or-match is a single
+// cache-line-run operation: one lock acquire, a short scan, one write, one
+// release, all on the same one or two adjacent lines. This is the paper's
+// low-load-factor optimization.
+//
+// FIFO matching order is preserved per bucket (and therefore per key):
+// slots are appended at the end and the scan always claims the oldest
+// complementary slot with the same key.
 package matching
 
 import (
@@ -32,14 +36,18 @@ const (
 
 func (t Type) other() Type { return 1 - t }
 
-// DefaultBuckets is the default bucket count (the paper's 65536).
-const DefaultBuckets = 1 << 16
+// DefaultBuckets is the default bucket count. The paper's C++
+// implementation defaults to 65536 buckets per engine; this simulation
+// hosts many runtimes (one per simulated rank) in a single process, so the
+// default is smaller — it matches the runtime-core default and keeps a
+// whole engine L2-resident, which is what the low-load-factor fast path
+// assumes.
+const DefaultBuckets = 1 << 12
 
 const (
 	wildcardRank = uint64(0xffff_fffe)
 	wildcardTag  = uint64(0xffff_fffd)
-	inlineVals   = 2 // inline queue slots per entry
-	inlineEnts   = 3 // inline entries per bucket
+	inlineSlots  = 3 // inline slots per bucket
 )
 
 // MakeKey builds the insertion key from (source rank, tag) under the given
@@ -62,67 +70,29 @@ func MakeKey(rank, tag int, policy base.MatchingPolicy) uint64 {
 // KeyFunc lets users supply their own make_key function (§4.3.2).
 type KeyFunc func(rank, tag int) uint64
 
-type valQueue struct {
-	inline [inlineVals]any
-	n      int // elements in inline
-	over   []any
+// slot is one queued unmatched descriptor.
+type slot struct {
+	key uint64
+	val any
+	typ Type
 }
 
-func (q *valQueue) push(v any) {
-	if q.n < inlineVals && len(q.over) == 0 {
-		q.inline[q.n] = v
-		q.n++
-		return
-	}
-	q.over = append(q.over, v)
-}
-
-func (q *valQueue) pop() (any, bool) {
-	if q.n > 0 {
-		v := q.inline[0]
-		q.inline[0] = q.inline[1]
-		q.inline[1] = nil
-		q.n--
-		if q.n == 0 && len(q.over) > 0 {
-			// promote from overflow to keep FIFO order
-			q.inline[0] = q.over[0]
-			q.over = q.over[1:]
-			if len(q.over) == 0 {
-				q.over = nil
-			}
-			q.n = 1
-		}
-		return v, true
-	}
-	if len(q.over) > 0 { // only reachable transiently; keep safe
-		v := q.over[0]
-		q.over = q.over[1:]
-		return v, true
-	}
-	return nil, false
-}
-
-func (q *valQueue) empty() bool { return q.n == 0 && len(q.over) == 0 }
-
-type entry struct {
-	key  uint64
-	typ  Type // type of the queued values
-	vals valQueue
-	used bool
-}
-
+// bucket packs the lock word, the inline slot count, and the inline slots
+// into 128 contiguous bytes (two cache lines; the lock, count and first
+// slot share the first line). Slot order is insertion order: inline slots
+// first, then overflow.
 type bucket struct {
-	mu     spin.Mutex
-	inline [inlineEnts]entry
-	over   []*entry
-	_      spin.Pad
+	mu    spin.Lock
+	n     uint32 // inline slots in use
+	slots [inlineSlots]slot
+	over  []slot
 }
 
 // Engine is a matching engine instance. Multiple engines may coexist; a
 // communication names the engine it matches on.
 type Engine struct {
 	buckets []bucket
-	mask    uint64
+	shift   uint
 }
 
 // New creates an engine with the given bucket count (rounded up to a power
@@ -132,15 +102,18 @@ func New(n int) *Engine {
 		n = DefaultBuckets
 	}
 	size := 2
+	shift := uint(63)
 	for size < n {
 		size <<= 1
+		shift--
 	}
-	return &Engine{buckets: make([]bucket, size), mask: uint64(size - 1)}
+	return &Engine{buckets: make([]bucket, size), shift: shift}
 }
 
-// hash mixes the key (fibonacci hashing) to pick a bucket.
+// hash mixes the key (fibonacci hashing) and keeps the high bits, which
+// carry the most mixing, to pick a bucket.
 func (e *Engine) hash(key uint64) uint64 {
-	return (key * 0x9e3779b97f4a7c15) >> 17 & e.mask
+	return (key * 0x9e3779b97f4a7c15) >> e.shift
 }
 
 // Insert tries to insert (key, val) with the given type. If a value of the
@@ -149,58 +122,63 @@ func (e *Engine) hash(key uint64) uint64 {
 // val is queued and ok is false.
 func (e *Engine) Insert(key uint64, typ Type, val any) (matched any, ok bool) {
 	b := &e.buckets[e.hash(key)]
+	want := typ.other()
 	b.mu.Lock()
 
-	// Find the entry for this key.
-	var ent *entry
-	overIdx := -1
-	for i := range b.inline {
-		if b.inline[i].used && b.inline[i].key == key {
-			ent = &b.inline[i]
-			break
+	// Scan oldest-first for a complementary slot with the same key.
+	n := int(b.n)
+	for i := 0; i < n; i++ {
+		if b.slots[i].key == key && b.slots[i].typ == want {
+			m := b.slots[i].val
+			b.removeInline(i)
+			b.mu.Unlock()
+			return m, true
 		}
 	}
-	if ent == nil {
-		for i, o := range b.over {
-			if o.key == key {
-				ent, overIdx = o, i
-				break
+	for i := range b.over {
+		if b.over[i].key == key && b.over[i].typ == want {
+			m := b.over[i].val
+			last := len(b.over) - 1
+			copy(b.over[i:], b.over[i+1:])
+			b.over[last] = slot{} // drop the stale tail reference
+			b.over = b.over[:last]
+			if last == 0 {
+				b.over = nil
 			}
+			b.mu.Unlock()
+			return m, true
 		}
 	}
 
-	if ent != nil && !ent.vals.empty() && ent.typ == typ.other() {
-		m, _ := ent.vals.pop()
-		if ent.vals.empty() {
-			// Drop the drained entry so long-lived engines with many
-			// distinct keys do not accumulate garbage.
-			if overIdx >= 0 {
-				b.over = append(b.over[:overIdx], b.over[overIdx+1:]...)
-			} else {
-				ent.used = false
-			}
-		}
-		b.mu.Unlock()
-		return m, true
+	// No match: append val, inline if there is room and no overflow (an
+	// inline append behind a non-empty overflow would break FIFO order).
+	if n < inlineSlots && len(b.over) == 0 {
+		b.slots[n] = slot{key: key, val: val, typ: typ}
+		b.n++
+	} else {
+		b.over = append(b.over, slot{key: key, val: val, typ: typ})
 	}
-
-	if ent == nil {
-		for i := range b.inline {
-			if !b.inline[i].used {
-				b.inline[i] = entry{key: key, used: true}
-				ent = &b.inline[i]
-				break
-			}
-		}
-		if ent == nil {
-			ent = &entry{key: key, used: true}
-			b.over = append(b.over, ent)
-		}
-	}
-	ent.typ = typ
-	ent.vals.push(val)
 	b.mu.Unlock()
 	return nil, false
+}
+
+// removeInline deletes inline slot i, shifting later slots down and
+// promoting the oldest overflow slot (if any) to keep insertion order.
+// Caller holds b.mu.
+func (b *bucket) removeInline(i int) {
+	n := int(b.n)
+	copy(b.slots[i:n], b.slots[i+1:n])
+	if len(b.over) > 0 {
+		b.slots[n-1] = b.over[0]
+		b.over[0] = slot{} // drop the promoted slot's backing-array reference
+		b.over = b.over[1:]
+		if len(b.over) == 0 {
+			b.over = nil
+		}
+		return
+	}
+	b.slots[n-1] = slot{}
+	b.n--
 }
 
 // Len counts queued (unmatched) values across all buckets. Intended for
@@ -210,14 +188,7 @@ func (e *Engine) Len() int {
 	for i := range e.buckets {
 		b := &e.buckets[i]
 		b.mu.Lock()
-		for j := range b.inline {
-			if b.inline[j].used {
-				total += b.inline[j].vals.n + len(b.inline[j].vals.over)
-			}
-		}
-		for _, o := range b.over {
-			total += o.vals.n + len(o.vals.over)
-		}
+		total += int(b.n) + len(b.over)
 		b.mu.Unlock()
 	}
 	return total

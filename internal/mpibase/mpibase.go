@@ -50,6 +50,13 @@ type Config struct {
 	AssertAllowOvertaking bool
 	// EagerLimit is the largest eager payload (default: packet size - 24).
 	EagerLimit int
+	// ProgressOverheadNs models the CH4 progress-engine round: the work a
+	// real MPICH progress call does beyond the provider CQ poll — netmod
+	// function-table hops, workq and RMA bookkeeping, progress counters —
+	// all inside the VCI critical section, whether or not anything
+	// completed (default 100, conservative against measured MPICH rounds). LCI has no analogue: its progress engine is
+	// the device poll itself (§4.2.7).
+	ProgressOverheadNs int
 	// PreRecvs is the number of pre-posted receive buffers per VCI
 	// (default 128). PacketSize defaults to 8192.
 	PreRecvs   int
@@ -68,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PreRecvs <= 0 {
 		c.PreRecvs = 128
+	}
+	if c.ProgressOverheadNs <= 0 {
+		c.ProgressOverheadNs = 100
 	}
 	return c
 }
@@ -267,6 +277,12 @@ func (m *MPI) Isend(buf []byte, dst, tag, comm int) *Request {
 	return req
 }
 
+// inlineEager is the packet-size ceiling under which the netmod posts the
+// eager message inline/injected (no local CQE) and completes the request
+// immediately — MPICH does exactly this for small eager sends, where the
+// provider's inject path makes the buffer reusable on return.
+const inlineEager = 128
+
 // eagerSendLocked transmits an eager message, spinning on provider
 // backpressure inside the critical section — the blocking retry loop the
 // paper contrasts with LCI's in-band retry (§4.2.5).
@@ -274,9 +290,18 @@ func (m *MPI) eagerSendLocked(v *vci, req *Request, buf []byte, dst, tag, comm i
 	pkt := make([]byte, wireHdrSize+len(buf))
 	wireHdr{kind: kEager, comm: uint16(comm), tag: int32(tag), seq: seq, size: uint32(len(buf))}.encode(pkt)
 	copy(pkt[wireHdrSize:], buf)
+	var ctx any
+	if len(pkt) > inlineEager {
+		ctx = &sendCtx{req: req}
+	}
 	for {
-		err := v.dev.PostSend(dst, v.dev.Index(), uint32(kEager), pkt, &sendCtx{req: req})
+		err := v.dev.PostSend(dst, v.dev.Index(), uint32(kEager), pkt, ctx)
 		if err == nil {
+			if ctx == nil {
+				// Inject path: the provider copied the bytes; the request
+				// is complete at post time, no CQE will arrive.
+				req.done.Store(true)
+			}
 			return
 		}
 		if !raw.IsTxFull(err) {
@@ -434,6 +459,7 @@ func (m *MPI) ProgressVCI(comm, tag int) {
 
 // progressLocked runs one progress round on v. Caller holds v.mu.
 func (m *MPI) progressLocked(v *vci) {
+	spin.Delay(m.cfg.ProgressOverheadNs)
 	v.replenishLocked()
 	if v.compBatch == nil {
 		v.compBatch = make([]fabric.Completion, 32)

@@ -44,10 +44,14 @@ func NewQueue[T any](segCap int) *Queue[T] {
 
 // Enqueue adds v to the queue. It never fails.
 func (q *Queue[T]) Enqueue(v T) {
+	// The length counter is bumped BEFORE the ring write so it is always an
+	// upper bound on the published element count: Dequeue's empty fast path
+	// may then pass spuriously (and fall through to the ring, finding
+	// nothing) but can never report empty while a published element waits.
+	q.length.Add(1)
 	for {
 		t := q.tail.Load()
 		if t.ring.Enqueue(v) {
-			q.length.Add(1)
 			return
 		}
 		// Segment full or sealed: make sure a successor exists, then help
@@ -68,6 +72,17 @@ func (q *Queue[T]) Enqueue(v T) {
 // Dequeue removes and returns the oldest available element. ok is false if
 // the queue is empty.
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	// Empty fast path: pollers call Dequeue far more often than producers
+	// enqueue, and walking the segment ring on every empty poll costs
+	// several cache lines. Enqueue bumps the length counter BEFORE the
+	// ring write, so the counter is an upper bound on published elements
+	// and a zero reading proves the queue is empty; a positive reading
+	// with an unfinished publication just falls through to the ring and
+	// reports "momentarily empty", which a nonblocking Dequeue may.
+	if q.length.Load() <= 0 {
+		var zero T
+		return zero, false
+	}
 	for {
 		h := q.head.Load()
 		if v, ok := h.ring.Dequeue(); ok {

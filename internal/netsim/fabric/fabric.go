@@ -247,6 +247,12 @@ func (e *Endpoint) PostRecv(buf []byte, ctx any) {
 	e.rxMu.Unlock()
 }
 
+// NReady reports, without locking, how many completion events are waiting
+// at the endpoint. Progress engines use it to skip a whole poll round when
+// the simulated hardware CQ is empty — on real NICs this is the memory
+// poll of the CQE ring that costs a cache line, not a lock.
+func (e *Endpoint) NReady() int { return int(e.nReady.Load()) }
+
 // PollReady moves up to len(out) pending completion events of endpoint e
 // into out and returns how many were delivered.
 func (e *Endpoint) PollReady(out []Completion) int {

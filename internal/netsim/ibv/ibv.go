@@ -67,6 +67,7 @@ type Config struct {
 	TxDepth        int        // send-queue depth per device (default 256)
 	SendOverheadNs int        // WQE write + doorbell cost (default 150)
 	RecvOverheadNs int        // per-CQE consumption cost (default 100)
+	InlineSize     int        // max_inline_data: largest unsignaled inline send (default 220, mlx5-like)
 	Strategy       TDStrategy // thread-domain strategy (default per_qp)
 }
 
@@ -79,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecvOverheadNs <= 0 {
 		c.RecvOverheadNs = 100
+	}
+	if c.InlineSize <= 0 {
+		c.InlineSize = 220
 	}
 	return c
 }
@@ -190,10 +194,16 @@ func (d *Device) Endpoint() *fabric.Endpoint { return d.ep }
 
 // PostSend posts an eager send of data to endpoint dstDev of rank dst with
 // metadata meta. On success a TxDone completion carrying ctx will surface
-// from PollCQ.
+// from PollCQ — except for inline sends: a send with no completion context
+// that fits max_inline_data is posted unsignaled with IBV_SEND_INLINE (the
+// WQE carries the payload, the buffer is reusable on return, and no CQE is
+// ever generated), which is how the real driver makes small sends cheap.
 func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
-	if err := d.takeCredit(); err != nil {
-		return err
+	inline := ctx == nil && len(data) <= d.ctx.cfg.InlineSize
+	if !inline {
+		if err := d.takeCredit(); err != nil {
+			return err
+		}
 	}
 	q := d.qps[dst]
 	q.td.Lock()
@@ -203,10 +213,14 @@ func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) er
 	q.mu.Unlock()
 	q.td.Unlock()
 	if !ok {
-		d.credits.Add(1)
+		if !inline {
+			d.credits.Add(1)
+		}
 		return ErrTxFull // receiver RNR-saturated: behaves like tx backpressure
 	}
-	d.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	if !inline {
+		d.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	}
 	return nil
 }
 
@@ -258,10 +272,20 @@ func (d *Device) PostSRQRecv(buf []byte, ctx any) {
 	d.srqMu.Unlock()
 }
 
+// CQEmpty reports, without locking, whether the completion queue has
+// nothing to deliver. Like ibv_poll_cq returning 0 on an empty CQ, the
+// check is a read of the CQE ring state — no doorbell, no lock.
+func (d *Device) CQEmpty() bool {
+	return d.txEv.Len() == 0 && d.ep.NReady() == 0
+}
+
 // PollCQ drains up to len(out) completions. TX-side completions restore
-// send-queue credits. The whole poll holds the CQ spinlock, like
-// ibv_poll_cq.
+// send-queue credits. A non-empty poll holds the CQ spinlock, like
+// ibv_poll_cq; an empty poll is resolved by the CQE-ring peek alone.
 func (d *Device) PollCQ(out []fabric.Completion) int {
+	if d.CQEmpty() {
+		return 0
+	}
 	d.cqMu.Lock()
 	k := 0
 	for k < len(out) {

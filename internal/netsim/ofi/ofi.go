@@ -28,6 +28,7 @@ var ErrTxFull = errors.New("ofi: transmit queue full")
 // Config holds provider cost-model and sizing parameters.
 type Config struct {
 	TxDepth        int // transmit-queue depth per endpoint (default 256)
+	InjectSize     int // fi_inject ceiling: largest send with no local completion (default 192, cxi-like)
 	SendOverheadNs int // per-post cost under the endpoint lock (default 200)
 	RecvOverheadNs int // per-completion cost under the endpoint lock (default 120)
 	RegCacheNs     int // registration-cache lookup under the domain mutex, paid on (almost) every op (default 60)
@@ -37,6 +38,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.TxDepth <= 0 {
 		c.TxDepth = 256
+	}
+	if c.InjectSize <= 0 {
+		c.InjectSize = 192
 	}
 	if c.SendOverheadNs <= 0 {
 		c.SendOverheadNs = 200
@@ -123,10 +127,15 @@ func (e *Endpoint) takeCredit() error {
 }
 
 // PostSend posts an eager send. The endpoint lock covers the post; the
-// registration cache is consulted as well (cxi behaviour).
+// registration cache is consulted as well (cxi behaviour). A send with no
+// completion context that fits the inject ceiling is posted as fi_inject:
+// the buffer is reusable on return and no local completion is generated.
 func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
-	if err := e.takeCredit(); err != nil {
-		return err
+	inject := ctx == nil && len(data) <= e.dom.cfg.InjectSize
+	if !inject {
+		if err := e.takeCredit(); err != nil {
+			return err
+		}
 	}
 	e.dom.regCacheLookup()
 	e.mu.Lock()
@@ -134,10 +143,14 @@ func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) 
 	ok := e.dom.fab.Send(dst, dstDev, e.dom.rank, meta, data)
 	e.mu.Unlock()
 	if !ok {
-		e.credits.Add(1)
+		if !inject {
+			e.credits.Add(1)
+		}
 		return ErrTxFull
 	}
-	e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	if !inject {
+		e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
+	}
 	return nil
 }
 
@@ -182,9 +195,19 @@ func (e *Endpoint) PostRecv(buf []byte, ctx any) {
 	e.mu.Unlock()
 }
 
+// CQEmpty reports, without locking, whether the completion queue has
+// nothing to deliver (the fi_cq_read -FI_EAGAIN peek of the CQE ring).
+func (e *Endpoint) CQEmpty() bool {
+	return e.txEv.Len() == 0 && e.ep.NReady() == 0
+}
+
 // PollCQ drains up to len(out) completions under the endpoint lock
-// (fi_cq_read serializes with data ops on these providers).
+// (fi_cq_read serializes with data ops on these providers; only the
+// empty-CQ peek resolves without it).
 func (e *Endpoint) PollCQ(out []fabric.Completion) int {
+	if e.CQEmpty() {
+		return 0
+	}
 	e.mu.Lock()
 	k := 0
 	for k < len(out) {

@@ -1,0 +1,147 @@
+package raw_test
+
+import (
+	"testing"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+	"lci/internal/netsim/ofi"
+	"lci/internal/netsim/raw"
+)
+
+func fastIBV() ibv.Config { return ibv.Config{SendOverheadNs: 1, RecvOverheadNs: 1} }
+func fastOFI() ofi.Config {
+	return ofi.Config{SendOverheadNs: 1, RecvOverheadNs: 1, RegCacheNs: 1, RegisterNs: 1}
+}
+
+func TestOpenUnknownProvider(t *testing.T) {
+	fab := fabric.New(fabric.Config{NumRanks: 1})
+	if _, err := raw.Open("tcp", fab, 0, fastIBV(), fastOFI()); err == nil {
+		t.Fatal("expected error for unknown provider")
+	}
+}
+
+// TestSendRecvBothProviders drives an eager send through each provider
+// adapter and checks both completion sides.
+func TestSendRecvBothProviders(t *testing.T) {
+	for _, provider := range []string{"ibv", "ofi"} {
+		t.Run(provider, func(t *testing.T) {
+			fab := fabric.New(fabric.Config{NumRanks: 2})
+			p0, err := raw.Open(provider, fab, 0, fastIBV(), fastOFI())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, err := raw.Open(provider, fab, 1, fastIBV(), fastOFI())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p0.Name() != provider {
+				t.Fatalf("Name() = %q, want %q", p0.Name(), provider)
+			}
+			d0, d1 := p0.NewDevice(), p1.NewDevice()
+			if d0.Index() != 0 || d1.Index() != 0 {
+				t.Fatalf("first device index = %d/%d, want 0/0", d0.Index(), d1.Index())
+			}
+
+			buf := make([]byte, 32)
+			d1.PostRecvBuf(buf, "slot")
+			// Signaled send: a TxDone must surface at the sender.
+			if err := d0.PostSend(1, 0, 42, []byte("payload"), "tx"); err != nil {
+				t.Fatalf("PostSend: %v", err)
+			}
+			var comps [4]fabric.Completion
+			n := d0.PollCQ(comps[:])
+			if n != 1 || comps[0].Kind != fabric.TxDone || comps[0].Ctx != "tx" {
+				t.Fatalf("sender poll: n=%d comps=%v", n, comps[:n])
+			}
+			n = d1.PollCQ(comps[:])
+			if n != 1 || comps[0].Kind != fabric.RxSend || comps[0].Ctx != "slot" ||
+				comps[0].Src != 0 || comps[0].Meta != 42 || comps[0].Len != 7 {
+				t.Fatalf("receiver poll: n=%d comps=%v", n, comps[:n])
+			}
+			if string(buf[:7]) != "payload" {
+				t.Fatalf("payload = %q", buf[:7])
+			}
+		})
+	}
+}
+
+// TestInlineSendSkipsTxCompletion pins the unsignaled-inline behavior both
+// providers model: a small nil-context send produces no TxDone.
+func TestInlineSendSkipsTxCompletion(t *testing.T) {
+	for _, provider := range []string{"ibv", "ofi"} {
+		t.Run(provider, func(t *testing.T) {
+			fab := fabric.New(fabric.Config{NumRanks: 2})
+			p0, _ := raw.Open(provider, fab, 0, fastIBV(), fastOFI())
+			p1, _ := raw.Open(provider, fab, 1, fastIBV(), fastOFI())
+			d0, d1 := p0.NewDevice(), p1.NewDevice()
+			d1.PostRecvBuf(make([]byte, 32), nil)
+			if err := d0.PostSend(1, 0, 0, []byte("hi"), nil); err != nil {
+				t.Fatalf("PostSend: %v", err)
+			}
+			var comps [4]fabric.Completion
+			if n := d0.PollCQ(comps[:]); n != 0 {
+				t.Fatalf("inline send produced %d sender completions: %v", n, comps[:n])
+			}
+			if n := d1.PollCQ(comps[:]); n != 1 || comps[0].Kind != fabric.RxSend {
+				t.Fatalf("receiver poll: n=%d comps=%v", n, comps[:n])
+			}
+		})
+	}
+}
+
+// TestRMARoundTrip writes then reads remote memory through each adapter.
+func TestRMARoundTrip(t *testing.T) {
+	for _, provider := range []string{"ibv", "ofi"} {
+		t.Run(provider, func(t *testing.T) {
+			fab := fabric.New(fabric.Config{NumRanks: 2})
+			p0, _ := raw.Open(provider, fab, 0, fastIBV(), fastOFI())
+			p1, _ := raw.Open(provider, fab, 1, fastIBV(), fastOFI())
+			d0, d1 := p0.NewDevice(), p1.NewDevice()
+
+			region := make([]byte, 64)
+			rkey := d1.RegisterMem(region)
+			if err := d0.PostWrite(1, 0, rkey, 8, []byte("abc"), 0, false, nil); err != nil {
+				t.Fatalf("PostWrite: %v", err)
+			}
+			if string(region[8:11]) != "abc" {
+				t.Fatalf("region = %q", region[8:11])
+			}
+			into := make([]byte, 3)
+			if err := d0.PostRead(1, rkey, 8, into, nil); err != nil {
+				t.Fatalf("PostRead: %v", err)
+			}
+			if string(into) != "abc" {
+				t.Fatalf("read back %q", into)
+			}
+			// Write-with-immediate notifies the target endpoint.
+			if err := d0.PostWrite(1, 0, rkey, 0, []byte("z"), 99, true, nil); err != nil {
+				t.Fatalf("PostWrite imm: %v", err)
+			}
+			var comps [8]fabric.Completion
+			foundImm := false
+			for _, c := range comps[:d1.PollCQ(comps[:])] {
+				if c.Kind == fabric.RxWriteImm && c.Imm == 99 && c.Src == 0 {
+					foundImm = true
+				}
+			}
+			if !foundImm {
+				t.Fatal("no RxWriteImm completion at the target")
+			}
+			d1.DeregisterMem(rkey)
+			if err := d0.PostRead(1, rkey, 0, into, nil); err == nil {
+				t.Fatal("read from deregistered rkey should fail")
+			}
+		})
+	}
+}
+
+// TestIsTxFull covers the provider-error classifier.
+func TestIsTxFull(t *testing.T) {
+	if !raw.IsTxFull(ibv.ErrTxFull) || !raw.IsTxFull(ofi.ErrTxFull) {
+		t.Fatal("provider ErrTxFull not recognized")
+	}
+	if raw.IsTxFull(nil) {
+		t.Fatal("nil classified as TxFull")
+	}
+}

@@ -52,6 +52,10 @@ type Device interface {
 	PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error
 	// PollCQ drains up to len(out) completions, returning how many.
 	PollCQ(out []Completion) (int, error)
+	// CQEmpty reports, without locking, whether a PollCQ call would find
+	// nothing. Progress engines use it to keep the empty-poll fast path
+	// free of locks and batch-buffer traffic.
+	CQEmpty() bool
 	// RegisterMem registers buf for RMA and returns its rkey.
 	RegisterMem(buf []byte) (uint64, error)
 	// DeregisterMem removes a registration.
@@ -170,6 +174,8 @@ func (d *ibvDevice) PostRecv(buf []byte, ctx any) error {
 }
 
 func (d *ibvDevice) PollCQ(out []Completion) (int, error) {
+	// No emptiness pre-check here: the provider's PollCQ does its own
+	// CQE-ring peek, and callers that want a lock-free peek use CQEmpty.
 	if !d.cqMu.TryLock() {
 		return 0, ErrRetry
 	}
@@ -177,6 +183,8 @@ func (d *ibvDevice) PollCQ(out []Completion) (int, error) {
 	d.cqMu.Unlock()
 	return n, nil
 }
+
+func (d *ibvDevice) CQEmpty() bool { return d.dev.CQEmpty() }
 
 func (d *ibvDevice) RegisterMem(buf []byte) (uint64, error) {
 	// No user-space lock in libibverbs registration (§5.2.3).
@@ -281,6 +289,8 @@ func (d *ofiDevice) PollCQ(out []Completion) (int, error) {
 	d.mu.Unlock()
 	return n, nil
 }
+
+func (d *ofiDevice) CQEmpty() bool { return d.ep.CQEmpty() }
 
 func (d *ofiDevice) RegisterMem(buf []byte) (uint64, error) {
 	// Registration bypasses the wrapper (it must block on the global

@@ -65,10 +65,12 @@ func TestTxFullBackpressure(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		d1.PostRecv(make([]byte, 16), nil)
 	}
-	// TxDepth=2: the third un-polled send must report ErrTxFull.
+	// TxDepth=2: the third un-polled signaled send must report ErrTxFull.
+	// (A nil-context small send would be posted inline/unsignaled and
+	// consume no credit, so pass a context to force the signaled path.)
 	var err error
 	for i := 0; i < 3; i++ {
-		err = d0.PostSend(1, 0, 0, []byte("x"), nil)
+		err = d0.PostSend(1, 0, 0, []byte("x"), "ctx")
 	}
 	if !errors.Is(err, network.ErrTxFull) || !errors.Is(err, network.ErrRetry) {
 		t.Fatalf("expected ErrTxFull wrapping ErrRetry, got %v", err)

@@ -37,13 +37,24 @@ type Pool struct {
 }
 
 // shard embeds its deque by value and pads both ends so that no two
-// shards' hot fields share a cacheline.
+// shards' hot fields share a cacheline. The lock word is an unpadded
+// spin.Lock placed right next to the deque header it guards, so the
+// normal-path get/put — acquire, bump the deque, release — is a single
+// cache-line run (§5.1.2).
 type shard struct {
 	_    spin.Pad
-	mu   spin.Mutex
+	mu   spin.Lock
 	dq   mpmc.Deque[*Packet]
 	seed uint64 // per-worker xorshift state (only touched by the owner)
-	_    spin.Pad
+
+	// cached is a one-packet bounce buffer for the get-use-put cycle that
+	// dominates the eager path: the packet handed back by Put is the one
+	// the next Get wants, so it short-circuits the deque entirely. A single
+	// atomic swap keeps it safe for the rare concurrent users of a shared
+	// device worker; stealing never sees it, which at worst hides one
+	// packet per worker from a starving thief.
+	cached atomic.Pointer[Packet]
+	_      spin.Pad
 }
 
 // Worker is a per-goroutine (or per-device) handle into the pool.
@@ -101,6 +112,9 @@ func (p *Pool) RegisterWorker() *Worker {
 // Get returns nil when no packet could be found — the nonblocking failure
 // that surfaces as a Retry status from posting operations.
 func (w *Worker) Get() *Packet {
+	if pkt := w.shard.cached.Swap(nil); pkt != nil {
+		return pkt
+	}
 	s := w.shard
 	s.mu.Lock()
 	pkt, ok := s.dq.PopBack()
@@ -111,13 +125,17 @@ func (w *Worker) Get() *Packet {
 	return w.steal()
 }
 
-// Put returns a packet to the worker's own deque tail.
+// Put returns a packet to the worker's cache slot, or to its own deque
+// tail when the slot is occupied.
 func (w *Worker) Put(pkt *Packet) {
 	if pkt == nil {
 		panic("packet: Put(nil)")
 	}
 	if pkt.pool != w.pool {
 		panic("packet: packet returned to the wrong pool")
+	}
+	if w.shard.cached.CompareAndSwap(nil, pkt) {
+		return
 	}
 	s := w.shard
 	s.mu.Lock()
@@ -195,6 +213,9 @@ func (p *Pool) Available() int {
 		s.mu.Lock()
 		total += s.dq.Len()
 		s.mu.Unlock()
+		if s.cached.Load() != nil {
+			total++
+		}
 	}
 	return total
 }

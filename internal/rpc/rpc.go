@@ -70,9 +70,9 @@ func NewLCITransport(rt *lci.Runtime, nthreads int) (*LCITransport, error) {
 	return t, nil
 }
 
-func (t *LCITransport) Rank() int                        { return t.rt.Rank() }
-func (t *LCITransport) NumRanks() int                    { return t.rt.NumRanks() }
-func (t *LCITransport) SetSink(fn func(int, []byte))     { t.sink = fn }
+func (t *LCITransport) Rank() int                    { return t.rt.Rank() }
+func (t *LCITransport) NumRanks() int                { return t.rt.NumRanks() }
+func (t *LCITransport) SetSink(fn func(int, []byte)) { t.sink = fn }
 
 func (t *LCITransport) Send(dst int, payload []byte, tid int) {
 	dev := t.devs[tid]

@@ -84,32 +84,35 @@ func Delay(ns int) {
 	spinKernel(int(float64(ns) * opsPerNs))
 }
 
-// Mutex is a test-and-test-and-set spinlock with cache-line padding.
-// The zero value is an unlocked mutex.
-//
-// Lock spins briefly and then yields, so it is safe under oversubscription;
-// TryLock never blocks, which is what the try-lock wrappers of §5.2.2 need.
-type Mutex struct {
-	_    Pad
-	v    atomic.Uint32
-	hold int32 // diagnostic: number of times acquisition needed >1 attempt
-	_    Pad
+// Lock is an unpadded 4-byte test-and-test-and-set spinlock meant to be
+// embedded inside cache-line-conscious structures — matching-engine
+// buckets, packet-pool shards — where the lock word must share its cache
+// line with the data it guards so that an uncontended acquire-touch-release
+// is a single cache-line run (§5.1.3). The embedding structure is
+// responsible for padding against neighbors; use Mutex when the lock stands
+// alone. The zero value is an unlocked Lock.
+type Lock struct {
+	v atomic.Uint32
 }
 
 // TryLock attempts to acquire the lock without blocking. It reports whether
 // the lock was acquired.
-func (m *Mutex) TryLock() bool {
-	return m.v.Load() == 0 && m.v.CompareAndSwap(0, 1)
+func (l *Lock) TryLock() bool {
+	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
 }
 
-// Lock acquires the lock, spinning with exponential yielding backoff.
-func (m *Mutex) Lock() {
-	if m.TryLock() {
+// Lock acquires the lock, spinning with yielding backoff.
+func (l *Lock) Lock() {
+	if l.TryLock() {
 		return
 	}
-	atomic.AddInt32(&m.hold, 1)
+	l.lockSlow()
+}
+
+// lockSlow is kept out of Lock so the fast path inlines.
+func (l *Lock) lockSlow() {
 	for spins := 0; ; spins++ {
-		if m.TryLock() {
+		if l.TryLock() {
 			return
 		}
 		// Short critical sections dominate in this runtime: spin a while
@@ -125,13 +128,43 @@ func (m *Mutex) Lock() {
 	}
 }
 
-// Unlock releases the lock. Unlocking an unlocked Mutex is a programming
+// Unlock releases the lock. Unlocking an unlocked Lock is a programming
 // error and panics, mirroring sync.Mutex.
-func (m *Mutex) Unlock() {
-	if m.v.Swap(0) != 1 {
-		panic("spin: unlock of unlocked Mutex")
+func (l *Lock) Unlock() {
+	if l.v.Swap(0) != 1 {
+		panic("spin: unlock of unlocked Lock")
 	}
 }
+
+// Mutex is a test-and-test-and-set spinlock with cache-line padding on both
+// sides, for standalone locks whose neighbors must not false-share. The
+// zero value is an unlocked mutex.
+//
+// Lock spins briefly and then yields, so it is safe under oversubscription;
+// TryLock never blocks, which is what the try-lock wrappers of §5.2.2 need.
+type Mutex struct {
+	_    Pad
+	l    Lock
+	hold int32 // diagnostic: number of times acquisition needed >1 attempt
+	_    Pad
+}
+
+// TryLock attempts to acquire the lock without blocking. It reports whether
+// the lock was acquired.
+func (m *Mutex) TryLock() bool { return m.l.TryLock() }
+
+// Lock acquires the lock, spinning with exponential yielding backoff.
+func (m *Mutex) Lock() {
+	if m.l.TryLock() {
+		return
+	}
+	atomic.AddInt32(&m.hold, 1)
+	m.l.lockSlow()
+}
+
+// Unlock releases the lock. Unlocking an unlocked Mutex is a programming
+// error and panics, mirroring sync.Mutex.
+func (m *Mutex) Unlock() { m.l.Unlock() }
 
 // Contended reports whether any Lock call ever had to wait. Used by tests
 // and the resource microbenchmarks.
@@ -151,20 +184,3 @@ func procYield() {
 		atomic.AddUint64(&spinSink, 1)
 	}
 }
-
-// Flag is a padded atomic boolean used for "is the backlog queue non-empty"
-// style checks (§5.1.5).
-type Flag struct {
-	_ Pad
-	v atomic.Bool
-	_ Pad
-}
-
-// Set sets the flag to b.
-func (f *Flag) Set(b bool) { f.v.Store(b) }
-
-// Get returns the flag value.
-func (f *Flag) Get() bool { return f.v.Load() }
-
-// TestAndSet sets the flag to true and reports its previous value.
-func (f *Flag) TestAndSet() bool { return f.v.Swap(true) }

@@ -85,23 +85,3 @@ func TestMutexContendedDiagnostic(t *testing.T) {
 		t.Error("expected contention to be recorded")
 	}
 }
-
-func TestFlag(t *testing.T) {
-	var f Flag
-	if f.Get() {
-		t.Fatal("zero Flag should be false")
-	}
-	if f.TestAndSet() {
-		t.Fatal("TestAndSet on false flag returned true")
-	}
-	if !f.Get() {
-		t.Fatal("flag should now be set")
-	}
-	if !f.TestAndSet() {
-		t.Fatal("TestAndSet on true flag returned false")
-	}
-	f.Set(false)
-	if f.Get() {
-		t.Fatal("flag should be cleared")
-	}
-}
