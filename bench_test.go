@@ -99,6 +99,28 @@ func BenchmarkFig4MessageRateThread(b *testing.B) {
 	}
 }
 
+// BenchmarkMessageRateDevices: multi-device message rate at a fixed
+// thread count, sweeping the LCI device-pool size (the standing devscale
+// gate in internal/bench runs the same sweep and writes
+// BENCH_devscale.json).
+func BenchmarkMessageRateDevices(b *testing.B) {
+	const threads = 8
+	for _, plat := range benchPlatforms() {
+		for _, devices := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/threads=%d/devices=%d", plat.Name, threads, devices)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.MessageRateDevices(plat, threads, devices, 2000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.RateMps, "Mmsg/s")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig5BandwidthThread: thread-based bandwidth over message sizes
 // (§6.2.2, Figure 5). The paper fixes 64 threads; the bench uses 8 to fit
 // CI machines — cmd/lci-bench sweeps the full range.

@@ -1,0 +1,175 @@
+// Command lci-benchgate compares freshly measured BENCH_*.json artifacts
+// against committed baselines and fails (exit 1) when any series point
+// regresses by more than the allowed fraction. CI runs it after the full
+// test pass — which rewrites the artifacts in the working tree — against
+// the baselines saved from the previous commit, turning the tracked
+// BENCH_fig4.json / BENCH_fig6.json / BENCH_devscale.json files into a
+// standing performance-regression gate.
+//
+// Usage:
+//
+//	lci-benchgate -baseline <dir> [-current <dir>] [-max-drop 0.30] [names...]
+//
+// With no names, every BENCH_*.json present in the baseline directory is
+// compared. Result entries are matched by their identity fields (library,
+// platform, mode, pairs/threads/devices/size, resource name) and compared
+// on their rate metric (RateMps, GBps or Mops — whichever the entry
+// carries). Entries present only in one file are reported but do not fail
+// the gate: benches come and go; regressions on live points must not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var (
+	baselineDir = flag.String("baseline", "", "directory holding the committed baseline BENCH_*.json files (required)")
+	currentDir  = flag.String("current", ".", "directory holding the freshly written BENCH_*.json files")
+	maxDrop     = flag.Float64("max-drop", 0.30, "largest tolerated fractional rate drop per series point")
+)
+
+// metricFields are the recognized rate metrics, in preference order.
+var metricFields = []string{"RateMps", "GBps", "Mops"}
+
+// artifact mirrors bench.Artifact loosely: only the fields the gate needs,
+// tolerant of older envelope layouts (it ignores everything but results).
+type artifact struct {
+	Bench   string           `json:"bench"`
+	Results []map[string]any `json:"results"`
+}
+
+func load(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// key builds a stable identity for one result entry from everything that
+// is not a measurement: string fields plus integer-valued configuration
+// fields (Pairs, Threads, Devices, Size), excluding counters and timings.
+func key(r map[string]any) string {
+	skip := map[string]bool{
+		"Msgs": true, "Bytes": true, "Seconds": true, "Ops": true,
+		"RateMps": true, "GBps": true, "Mops": true,
+	}
+	parts := make([]string, 0, len(r))
+	for k, v := range r {
+		if skip[k] {
+			continue
+		}
+		switch v := v.(type) {
+		case string:
+			parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func metric(r map[string]any) (string, float64, bool) {
+	for _, f := range metricFields {
+		if v, ok := r[f].(float64); ok && v > 0 {
+			return f, v, true
+		}
+	}
+	return "", 0, false
+}
+
+func compare(name, basePath, curPath string) (failures int, err error) {
+	base, err := load(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return 0, err
+	}
+	curByKey := make(map[string]map[string]any, len(cur.Results))
+	for _, r := range cur.Results {
+		curByKey[key(r)] = r
+	}
+	for _, br := range base.Results {
+		k := key(br)
+		field, baseVal, ok := metric(br)
+		if !ok {
+			continue // baseline entry carries no rate metric: nothing to gate
+		}
+		cr, ok := curByKey[k]
+		if !ok {
+			fmt.Printf("  [%s] no current entry for baseline point {%s} — skipped\n", name, k)
+			continue
+		}
+		_, curVal, ok := metric(cr)
+		if !ok {
+			fmt.Printf("  [%s] current entry {%s} has no rate metric — skipped\n", name, k)
+			continue
+		}
+		drop := (baseVal - curVal) / baseVal
+		status := "ok"
+		if drop > *maxDrop {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("  [%s] %-10s %s: %s %.3f -> %.3f (%+.1f%%)\n",
+			name, status, k, field, baseVal, curVal, -drop*100)
+	}
+	return failures, nil
+}
+
+func main() {
+	flag.Parse()
+	if *baselineDir == "" {
+		fmt.Fprintln(os.Stderr, "lci-benchgate: -baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*baselineDir, "BENCH_*.json"))
+		if err != nil || len(matches) == 0 {
+			fmt.Fprintf(os.Stderr, "lci-benchgate: no BENCH_*.json baselines in %s\n", *baselineDir)
+			os.Exit(2)
+		}
+		for _, m := range matches {
+			names = append(names, strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json"))
+		}
+	}
+	totalFailures := 0
+	for _, name := range names {
+		basePath := filepath.Join(*baselineDir, "BENCH_"+name+".json")
+		curPath := filepath.Join(*currentDir, "BENCH_"+name+".json")
+		if _, err := os.Stat(curPath); err != nil {
+			// A missing current artifact means the producing test did not
+			// run (e.g. -short or -race): skipping is the documented
+			// behavior, not a failure.
+			fmt.Printf("[%s] current artifact %s missing — skipped\n", name, curPath)
+			continue
+		}
+		fmt.Printf("[%s] comparing %s against %s (max drop %.0f%%)\n", name, curPath, basePath, *maxDrop*100)
+		failures, err := compare(name, basePath, curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lci-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		totalFailures += failures
+	}
+	if totalFailures > 0 {
+		fmt.Fprintf(os.Stderr, "lci-benchgate: %d series point(s) regressed more than %.0f%%\n", totalFailures, *maxDrop*100)
+		os.Exit(1)
+	}
+	fmt.Println("lci-benchgate: no regressions beyond threshold")
+}

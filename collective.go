@@ -66,13 +66,18 @@ func (rt *Runtime) Barrier(opts ...Option) error {
 	return nil
 }
 
-// progressOpts progresses the device selected by opts (default device
-// otherwise).
+// progressOpts progresses the device selected by opts; with no explicit
+// device or affinity it progresses the whole pool, since unpinned barrier
+// posts stripe across every device.
 func (rt *Runtime) progressOpts(opts []Option) {
 	o := buildOpts(opts)
 	if o.Device != nil {
 		o.Device.Progress()
 		return
 	}
-	rt.core.DefaultDevice().Progress()
+	if o.Affinity != nil {
+		o.Affinity.Progress()
+		return
+	}
+	rt.core.ProgressAll()
 }

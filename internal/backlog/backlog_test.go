@@ -2,7 +2,11 @@ package backlog_test
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"lci/internal/backlog"
 )
@@ -82,5 +86,76 @@ func TestEmptyFlagSkipsLock(t *testing.T) {
 	}
 	if n := q.Drain(retryable); n != 0 {
 		t.Fatalf("Drain on empty = %d", n)
+	}
+}
+
+// TestConcurrentDrainManyDevices models the multi-device runtime: one
+// backlog queue per device, each drained by several progress goroutines
+// concurrently (the shared-device try-lock rule admits any thread to
+// Drain) while ops keep being parked. Every op must eventually succeed
+// exactly once, however the retries interleave.
+func TestConcurrentDrainManyDevices(t *testing.T) {
+	const queues, opsPerQueue, drainersPerQueue = 4, 400, 2
+	qs := make([]*backlog.Queue, queues)
+	for i := range qs {
+		qs[i] = backlog.New()
+	}
+	var succeeded atomic.Int64
+	var wg sync.WaitGroup
+	// Pushers park ops that fail a couple of retryable rounds first, like
+	// posts waiting for TX credits to return.
+	for _, q := range qs {
+		q := q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerQueue; i++ {
+				var attempts atomic.Int32 // an op may run from any drainer
+				q.Push(func() error {
+					if attempts.Add(1) < 3 {
+						return errAgain
+					}
+					succeeded.Add(1)
+					return nil
+				})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var drainWG sync.WaitGroup
+	for _, q := range qs {
+		q := q
+		for d := 0; d < drainersPerQueue; d++ {
+			drainWG.Add(1)
+			go func() {
+				defer drainWG.Done()
+				for {
+					select {
+					case <-stop:
+						q.Drain(retryable) // final sweep after pushers stop
+						return
+					default:
+						q.Drain(retryable)
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait() // all pushers done
+	const want = queues * opsPerQueue
+	deadline := time.Now().Add(20 * time.Second)
+	for succeeded.Load() < want && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	close(stop)
+	drainWG.Wait()
+	if got := succeeded.Load(); got != want {
+		t.Fatalf("succeeded %d of %d", got, want)
+	}
+	for i, q := range qs {
+		if !q.Empty() || q.Len() != 0 {
+			t.Errorf("queue %d not empty after drain", i)
+		}
 	}
 }

@@ -19,14 +19,19 @@ import (
 type RateResult struct {
 	Library  string  // lci, mpi, mpix, gasnet
 	Platform string  // SimExpanse / SimDelta
-	Mode     string  // process / thread-dedicated / thread-shared
+	Mode     string  // process / thread-dedicated / thread-shared / multi-device
 	Pairs    int     // communicating pairs (processes or threads per side)
+	Devices  int     `json:",omitempty"` // LCI device-pool size (multi-device mode)
 	Msgs     int64   // unidirectional messages counted
 	Seconds  float64 // wall time
 	RateMps  float64 // million messages per second (unidirectional)
 }
 
 func (r RateResult) String() string {
+	if r.Devices > 0 {
+		return fmt.Sprintf("%-7s %-11s %-16s pairs=%-4d devices=%-2d rate=%8.3f Mmsg/s",
+			r.Library, r.Platform, r.Mode, r.Pairs, r.Devices, r.RateMps)
+	}
 	return fmt.Sprintf("%-7s %-11s %-16s pairs=%-4d rate=%8.3f Mmsg/s",
 		r.Library, r.Platform, r.Mode, r.Pairs, r.RateMps)
 }
@@ -108,6 +113,35 @@ func MessageRateThread(kind lcw.Kind, platform lci.Platform, threads, iters int,
 	}, nil
 }
 
+// MessageRateDevices runs the device-scaling mode: two ranks, threads
+// goroutines per rank, 8-byte AM ping-pongs, with the LCI device pool
+// sized to devices — thread t pins to device t % devices. devices == 1 is
+// the fully shared mode; devices == threads is the fully dedicated mode;
+// intermediate values measure how message rate scales as injection and
+// progress parallelize across the pool (the paper's multi-device lever).
+func MessageRateDevices(platform lci.Platform, threads, devices, iters int) (RateResult, error) {
+	cfg := lcw.Config{Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: threads, Devices: devices, MaxAM: 64}
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		return RateResult{}, err
+	}
+	defer job.Close()
+
+	elapsed := runPingPong(job, threads, iters, 8, func(pair int) (lcw.Comm, int, bool) {
+		if pair < threads {
+			return job.Comm(0), 1, true
+		}
+		return job.Comm(1), 0, false
+	}, 2*threads)
+
+	msgs := int64(threads) * int64(iters)
+	return RateResult{
+		Library: lcw.LCI.String(), Platform: platform.Name, Mode: "multi-device",
+		Pairs: threads, Devices: devices, Msgs: msgs, Seconds: elapsed.Seconds(),
+		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
 // runPingPong drives pairs of AM ping-pong workers and returns the
 // elapsed wall time of the communication phase. layout maps a worker
 // index in [0, workers) to its comm, peer rank and role; a worker's
@@ -131,15 +165,18 @@ func runPingPong(job *lcw.Job, pairs, iters, size int,
 			<-start
 			if initiator {
 				for i := 0; i < iters; i++ {
-					for !th.SendAM(peer, msg) {
+					for miss := 0; !th.SendAM(peer, msg); miss++ {
 						th.Progress()
+						if miss&63 == 63 {
+							runtime.Gosched() // oversubscription fairness
+						}
 					}
 					for miss := 0; ; miss++ {
 						if _, ok := th.PollAM(); ok {
 							break
 						}
 						if miss&63 == 63 {
-							runtime.Gosched() // oversubscription fairness
+							runtime.Gosched()
 						}
 					}
 				}
@@ -153,8 +190,11 @@ func runPingPong(job *lcw.Job, pairs, iters, size int,
 							runtime.Gosched()
 						}
 					}
-					for !th.SendAM(peer, msg) {
+					for miss := 0; !th.SendAM(peer, msg); miss++ {
 						th.Progress()
+						if miss&63 == 63 {
+							runtime.Gosched()
+						}
 					}
 				}
 			}

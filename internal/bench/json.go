@@ -4,16 +4,43 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 )
 
+// Meta describes the configuration an artifact was measured under, so
+// that BENCH_*.json files are self-describing and comparable across runs
+// and machines. Callers fill the benchmark-shaped fields (threads,
+// devices, platform); WriteJSON stamps the host/toolchain fields.
+type Meta struct {
+	// GoMaxProcs is runtime.GOMAXPROCS at measurement time (filled
+	// automatically when zero).
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Threads is the benchmark's thread (goroutine-pair) count per rank.
+	Threads int `json:"threads,omitempty"`
+	// Devices is the LCI device-pool size when the whole artifact was
+	// measured at one fixed pool size; it is omitted when the artifact
+	// sweeps device counts, which are then recorded per result row
+	// (BENCH_devscale.json does this).
+	Devices int `json:"devices,omitempty"`
+	// Platform names the simulated platform (SimExpanse / SimDelta).
+	Platform string `json:"platform,omitempty"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and host (filled
+	// automatically).
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+}
+
 // Artifact is the envelope written around benchmark results so that runs
-// are comparable over time: the repository tracks BENCH_fig4.json and
-// BENCH_fig6.json at its root, and CI republishes them on every run.
+// are comparable over time: the repository tracks BENCH_fig4.json,
+// BENCH_fig6.json and BENCH_devscale.json at its root, CI republishes
+// them on every run, and cmd/lci-benchgate compares fresh artifacts
+// against the committed baselines.
 type Artifact struct {
 	Bench     string `json:"bench"`
 	Timestamp string `json:"timestamp"`
-	GoMaxProc int    `json:"gomaxprocs"`
+	Meta      Meta   `json:"meta"`
 	Results   any    `json:"results"`
 }
 
@@ -44,11 +71,17 @@ func ArtifactDir() string {
 // WriteJSON writes results as an indented JSON artifact named
 // BENCH_<name>.json in ArtifactDir. Errors are returned, not fatal: a
 // read-only checkout must not fail the benchmark that produced the data.
-func WriteJSON(name string, gomaxprocs int, results any) error {
+func WriteJSON(name string, meta Meta, results any) error {
+	if meta.GoMaxProcs == 0 {
+		meta.GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+	meta.GoVersion = runtime.Version()
+	meta.GOOS = runtime.GOOS
+	meta.GOARCH = runtime.GOARCH
 	art := Artifact{
 		Bench:     name,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProc: gomaxprocs,
+		Meta:      meta,
 		Results:   results,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -41,7 +41,9 @@ type Device struct {
 	statComps  atomic.Int64
 }
 
-// NewDevice allocates a new device (alloc_device in the paper).
+// NewDevice allocates a new device (alloc_device in the paper) and adds
+// it to the runtime's device pool: it joins the round-robin stripe for
+// unpinned posts and is progressed by ProgressAll.
 func (rt *Runtime) NewDevice() (*Device, error) {
 	if rt.closed {
 		return nil, ErrClosed
@@ -59,6 +61,7 @@ func (rt *Runtime) NewDevice() (*Device, error) {
 	}
 	d.recvDeficit.Store(int64(rt.cfg.PreRecvs))
 	d.replenish(d.worker)
+	rt.devs.Append(d)
 	return d, nil
 }
 
@@ -176,6 +179,11 @@ func (d *Device) progressSlow(w *packet.Worker) int {
 func (d *Device) Stats() (rounds, comps int64) {
 	return d.statRounds.Load(), d.statComps.Load()
 }
+
+// NetStats snapshots the device's fabric-endpoint counters (messages
+// received, bytes, RNR events). Multi-device gates read these to verify
+// traffic really strips across the pool.
+func (d *Device) NetStats() fabric.Stats { return d.net.Stats() }
 
 // handleCompletion reacts to one network completion.
 func (d *Device) handleCompletion(c *network.Completion, w *packet.Worker) {

@@ -13,8 +13,14 @@ import (
 // The public package converts its functional options into this struct —
 // Go's equivalent of the paper's named-parameter idiom (§4.1).
 type Options struct {
-	// Device selects the posting device (default: the runtime default).
+	// Device selects the posting device. When nil, the post uses the
+	// Affinity's pinned device if one is set, and otherwise stripes
+	// round-robin across the runtime's device pool.
 	Device *Device
+	// Affinity supplies the posting goroutine's pinned device and packet
+	// worker in one handle (Runtime.RegisterThread). Device and Worker,
+	// when set, individually override the affinity's choices.
+	Affinity *Affinity
 	// Engine selects the matching engine (default: the runtime default).
 	Engine *MatchEngine
 	// Policy is the matching policy (§4.3.2).
@@ -24,9 +30,16 @@ type Options struct {
 	RComp base.RComp
 	// Remote supplies the remote buffer for RMA operations (Table 1).
 	Remote *RemoteBuffer
-	// RemoteDevice hints which peer endpoint handles the operation
-	// (default: same index as the posting device).
+	// RemoteDevice selects which peer endpoint handles the operation when
+	// RemoteDeviceSet is true (device 0 included); without the flag a
+	// positive value is honored as the legacy hint, and zero defers to the
+	// default: the posting device's own index (symmetric jobs pair device
+	// i with device i).
 	RemoteDevice int
+	// RemoteDeviceSet marks RemoteDevice as explicitly chosen, making
+	// device 0 addressable (the bare int cannot distinguish "unset" from
+	// "device 0").
+	RemoteDeviceSet bool
 	// Ctx is an opaque user context copied into completion statuses.
 	Ctx any
 	// Worker overrides the packet-pool worker (goroutines that registered
@@ -87,7 +100,10 @@ func (o *Options) device(rt *Runtime) *Device {
 	if o.Device != nil {
 		return o.Device
 	}
-	return rt.defDev
+	if o.Affinity != nil {
+		return o.Affinity.dev
+	}
+	return rt.stripeDevice()
 }
 
 func (o *Options) engine(rt *Runtime) (*matching.Engine, uint16) {
@@ -101,11 +117,18 @@ func (o *Options) worker(d *Device) *packet.Worker {
 	if o.Worker != nil {
 		return o.Worker
 	}
+	if o.Affinity != nil {
+		return o.Affinity.worker
+	}
 	return d.worker
 }
 
 func (o *Options) remoteDev(d *Device) int {
+	if o.RemoteDeviceSet {
+		return o.RemoteDevice
+	}
 	if o.RemoteDevice > 0 {
+		// Legacy hint: pre-flag callers could only address devices > 0.
 		return o.RemoteDevice
 	}
 	return d.Index()

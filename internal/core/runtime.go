@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"lci/internal/base"
 	"lci/internal/comp"
@@ -44,6 +45,13 @@ type Config struct {
 	MatchBuckets int
 	// MaxMessageSize bounds a single message (default 1 GiB).
 	MaxMessageSize int
+	// NumDevices is the size of the runtime's device pool (default 1).
+	// Every pool device owns a full set of network resources — fabric
+	// endpoint, CQ, pre-posted receives, backlog queue — so posts on
+	// different devices never serialize on each other (§4.2.3). Threads
+	// pin to a pool device with RegisterThread; unpinned posts stripe
+	// round-robin across the pool.
+	NumDevices int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +73,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxMessageSize <= 0 {
 		c.MaxMessageSize = 1 << 30
 	}
+	if c.NumDevices <= 0 {
+		c.NumDevices = 1
+	}
 	if c.PacketSize < headerSize+c.InjectSize {
 		panic("core: PacketSize must be at least headerSize+InjectSize")
 	}
@@ -82,10 +93,18 @@ type Runtime struct {
 	defME   *matching.Engine
 	engines *mpmc.Array[*matching.Engine]
 	defDev  *Device
+	devs    *mpmc.Array[*Device]
 	rcomps  *mpmc.Array[base.Comp]
 	rank    int
 	nranks  int
 	closed  bool
+
+	// stripe hands unpinned posts a pool device round-robin; pins counts
+	// RegisterThread calls for the same purpose. Pinned threads never
+	// touch stripe, so the shared counter only costs posts that opted out
+	// of affinity.
+	stripe atomic.Uint64
+	pins   atomic.Uint64
 }
 
 // NewRuntime builds a runtime for rank over the given backend and fabric.
@@ -101,14 +120,17 @@ func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Confi
 		pool:    packet.NewPool(cfg.PacketSize, cfg.PacketsPerWorker),
 		defME:   matching.New(cfg.MatchBuckets),
 		engines: mpmc.NewArray[*matching.Engine](4),
+		devs:    mpmc.NewArray[*Device](4),
 		rcomps:  mpmc.NewArray[base.Comp](8),
 		rank:    rank,
 		nranks:  netctx.NumRanks(),
 	}
-	rt.defDev, err = rt.NewDevice()
-	if err != nil {
-		return nil, err
+	for i := 0; i < cfg.NumDevices; i++ {
+		if _, err := rt.NewDevice(); err != nil {
+			return nil, err
+		}
 	}
+	rt.defDev = rt.devs.Get(0)
 	return rt, nil
 }
 
@@ -121,8 +143,74 @@ func (rt *Runtime) NumRanks() int { return rt.nranks }
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// DefaultDevice returns the device created with the runtime.
+// DefaultDevice returns the first pool device.
 func (rt *Runtime) DefaultDevice() *Device { return rt.defDev }
+
+// NumDevices returns the current size of the device pool (configured
+// devices plus any allocated later with NewDevice).
+func (rt *Runtime) NumDevices() int { return rt.devs.Len() }
+
+// Device returns pool device i. Devices are indexed in allocation order,
+// which is also their wire endpoint index: symmetric jobs reach the
+// peer's i-th device by addressing remote device i.
+func (rt *Runtime) Device(i int) *Device { return rt.devs.Get(i) }
+
+// stripeDevice picks the pool device for an unpinned post: round-robin
+// striping across the pool (§4.2.3's multi-device mode without explicit
+// affinity). Single-device pools short-circuit to the default device with
+// no shared-counter traffic.
+func (rt *Runtime) stripeDevice() *Device {
+	n := rt.devs.Len()
+	if n == 1 {
+		return rt.defDev
+	}
+	return rt.devs.Get(int(rt.stripe.Add(1) % uint64(n)))
+}
+
+// ProgressAll makes one progress round on every pool device and returns
+// the total number of completions processed. With striping, traffic for
+// this rank can arrive at any pool endpoint, so a thread waiting on an
+// unpinned operation must progress the whole pool.
+func (rt *Runtime) ProgressAll() int {
+	total := 0
+	for i, n := 0, rt.devs.Len(); i < n; i++ {
+		total += rt.devs.Get(i).Progress()
+	}
+	return total
+}
+
+// Affinity pins a goroutine to one pool device plus its own packet-pool
+// worker. It is the device analogue of RegisterWorker: posting operations
+// that carry an Affinity (Options.Affinity) inject and poll only their own
+// device's resources, the paper's dedicated-resource mode.
+type Affinity struct {
+	dev    *Device
+	worker *packet.Worker
+}
+
+// Device returns the pinned device.
+func (a *Affinity) Device() *Device { return a.dev }
+
+// Worker returns the goroutine's packet-pool worker.
+func (a *Affinity) Worker() *packet.Worker { return a.worker }
+
+// Progress makes progress on the pinned device with the local worker.
+func (a *Affinity) Progress() int { return a.dev.ProgressW(a.worker) }
+
+// RegisterThread pins the calling goroutine to a pool device — assigned
+// round-robin over the pool, so successive registrations spread across all
+// devices — and registers a packet-pool worker for it. The handle is not
+// goroutine-safe; like a packet worker it belongs to one goroutine.
+func (rt *Runtime) RegisterThread() *Affinity {
+	n := rt.devs.Len()
+	idx := int((rt.pins.Add(1) - 1) % uint64(n))
+	return rt.RegisterThreadOn(idx)
+}
+
+// RegisterThreadOn pins the calling goroutine to pool device idx.
+func (rt *Runtime) RegisterThreadOn(idx int) *Affinity {
+	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorker()}
+}
 
 // DefaultMatchingEngine returns the runtime's default matching engine.
 func (rt *Runtime) DefaultMatchingEngine() *matching.Engine { return rt.defME }
@@ -195,7 +283,16 @@ func (rt *Runtime) Close() error {
 		return nil
 	}
 	rt.closed = true
-	return rt.netctx.Close()
+	var firstErr error
+	for i, n := 0, rt.devs.Len(); i < n; i++ {
+		if err := rt.devs.Get(i).Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := rt.netctx.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // MaxEager returns the largest payload the eager protocol can carry.

@@ -11,6 +11,9 @@ import (
 // platform. This is the entry point the benchmark harness uses so that
 // every library runs the identical benchmark code (§6.2).
 func NewJob(cfg Config, platform lci.Platform) (*Job, error) {
+	if cfg.Devices > 0 && cfg.Kind != LCI {
+		return nil, fmt.Errorf("lcw: the Devices pool knob is LCI-only (%v has no device pool)", cfg.Kind)
+	}
 	switch cfg.Kind {
 	case LCI:
 		return NewLCIJob(cfg, platform, core.Config{})

@@ -13,11 +13,24 @@ import (
 // NewLCIJob builds an LCW job over this repository's LCI library.
 // Thread i of each rank registers a completion queue whose remote handle
 // is identical on every rank (registration happens in thread order during
-// setup), and — in the dedicated mode — allocates its own device, the
-// paper's one-LCI-device-per-thread layout.
+// setup). The rank's runtime is built with a device pool sized by
+// cfg.Devices (explicit pool) or cfg.Dedicated (one device per thread,
+// the paper's fully dedicated layout); thread t pins to pool device
+// t % devices and addresses the peer's same-index endpoint.
 func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, error) {
 	if cfg.Ranks < 1 || cfg.ThreadsPerRank < 1 {
 		return nil, fmt.Errorf("lcw: need at least 1 rank and 1 thread")
+	}
+	devices := cfg.Devices
+	if devices <= 0 {
+		if cfg.Dedicated {
+			devices = cfg.ThreadsPerRank
+		} else {
+			devices = 1
+		}
+	}
+	if devices > cfg.ThreadsPerRank {
+		return nil, fmt.Errorf("lcw: %d devices exceed %d threads per rank", devices, cfg.ThreadsPerRank)
 	}
 	_, packetSize, preRecvs := cfg.sizing()
 	if coreCfg.PacketSize == 0 {
@@ -25,6 +38,13 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 	}
 	if coreCfg.PreRecvs == 0 {
 		coreCfg.PreRecvs = preRecvs
+	}
+	// Like the other knobs, an explicit runtime pool size wins; it just
+	// cannot be smaller than the thread→device layout needs.
+	if coreCfg.NumDevices == 0 {
+		coreCfg.NumDevices = devices
+	} else if coreCfg.NumDevices < devices {
+		return nil, fmt.Errorf("lcw: runtime pool of %d devices is smaller than the %d the layout needs", coreCfg.NumDevices, devices)
 	}
 	world := lci.NewWorld(cfg.Ranks, lci.WithPlatform(platform), lci.WithRuntimeConfig(coreCfg))
 	j := &Job{cfg: cfg, fab: world.Fabric()}
@@ -44,18 +64,11 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 				worker:  rt.RegisterWorker(),
 			}
 			th.rcomp = rt.RegisterRComp(th.amq)
-			if cfg.Dedicated && t > 0 {
-				dev, err := rt.NewDevice()
-				if err != nil {
-					return nil, err
-				}
-				th.dev = dev
-			} else if cfg.Dedicated {
-				th.dev = rt.DefaultDevice()
-			} else {
-				th.dev = rt.DefaultDevice() // shared: everyone on the default
+			th.dev = rt.Device(t % devices)
+			th.opts = core.Options{
+				Device: th.dev, Worker: th.worker,
+				RemoteDevice: th.dev.Index(), RemoteDeviceSet: true,
 			}
-			th.opts = core.Options{Device: th.dev, Worker: th.worker, RemoteDevice: th.devHint()}
 			c.threads[t] = th
 		}
 		j.comms = append(j.comms, c)
@@ -91,15 +104,6 @@ type lciThread struct {
 	// functional-option rendering (lci.WithDevice, ...) allocates a slice
 	// and closures per call, which the per-message fast path cannot afford.
 	opts core.Options
-}
-
-// devHint addresses the peer's same-index endpoint. In dedicated mode
-// thread i owns endpoint i; in shared mode everything is endpoint 0.
-func (t *lciThread) devHint() int {
-	if t.comm.job.cfg.Dedicated {
-		return t.dev.Index()
-	}
-	return 0
 }
 
 func (t *lciThread) SendAM(dst int, data []byte) bool {

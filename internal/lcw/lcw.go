@@ -58,6 +58,13 @@ type Config struct {
 	Ranks          int
 	ThreadsPerRank int
 	Dedicated      bool // dedicated resources (device/VCI per thread)
+	// Devices sizes the LCI backend's device pool explicitly (LCI only):
+	// threads pin to device (thread index % Devices), so Devices ==
+	// ThreadsPerRank is the paper's fully dedicated layout and smaller
+	// values share each device among ThreadsPerRank/Devices threads. Zero
+	// keeps the Dedicated-flag behavior (one device per thread when
+	// Dedicated, one for the rank otherwise).
+	Devices int
 	// MaxAM bounds AM payloads the job will carry (default 8192-64).
 	// Benchmarks with small fixed-size messages set it low: every backend
 	// sizes its receive packets from it, which keeps the pre-posted buffer

@@ -214,3 +214,22 @@ func TestGASNetRejectsDedicated(t *testing.T) {
 		t.Fatal("expected error: GASNet has no dedicated-resource mode")
 	}
 }
+
+// TestLCIDevicesKnob: the explicit device-pool knob — threads share pool
+// devices t % Devices — must carry correct AM traffic at every pool size,
+// and is rejected for backends without a device pool.
+func TestLCIDevicesKnob(t *testing.T) {
+	for _, devices := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("devices=%d", devices), func(t *testing.T) {
+			pingPongOnce(t, lcw.Config{
+				Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: 4, Devices: devices,
+			}, lci.SimExpanse())
+		})
+	}
+	if _, err := lcw.NewJob(lcw.Config{Kind: lcw.MPI, Ranks: 2, ThreadsPerRank: 2, Devices: 2}, lci.SimExpanse()); err == nil {
+		t.Fatal("expected error: Devices knob is LCI-only")
+	}
+	if _, err := lcw.NewJob(lcw.Config{Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: 2, Devices: 4}, lci.SimExpanse()); err == nil {
+		t.Fatal("expected error: more devices than threads")
+	}
+}

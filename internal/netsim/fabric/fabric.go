@@ -33,6 +33,7 @@ package fabric
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"lci/internal/mpmc"
 	"lci/internal/spin"
@@ -183,6 +184,29 @@ func (f *Fabric) NewEndpoint(rank int) *Endpoint {
 
 // NumEndpoints reports how many endpoints rank has registered.
 func (f *Fabric) NumEndpoints(rank int) int { return f.rank(rank).eps.Len() }
+
+// Endpoint returns rank's idx-th endpoint (diagnostics; panics when out of
+// range, matching slice semantics).
+func (f *Fabric) Endpoint(rank, idx int) *Endpoint { return f.rank(rank).eps.Get(idx) }
+
+// RankStats sums the counters of every endpoint of rank — the per-device
+// traffic split multi-device gates assert on (striping must actually
+// spread messages across endpoints, not funnel them through one).
+func (f *Fabric) RankStats(rank int) Stats {
+	var agg Stats
+	rs := f.rank(rank)
+	for i, n := 0, rs.eps.Len(); i < n; i++ {
+		s := rs.eps.Get(i).Stats()
+		agg.Msgs += s.Msgs
+		agg.Bytes += s.Bytes
+		agg.RNR += s.RNR
+		agg.Rejects += s.Rejects
+		agg.PostedRecvs += s.PostedRecvs
+		agg.Pending += s.Pending
+		agg.Ready += s.Ready
+	}
+	return agg
+}
 
 // resolve picks the target endpoint for (rank, hint): endpoints wrap
 // around, so symmetric jobs address peer device i with hint i.
@@ -374,3 +398,67 @@ func (e *Endpoint) Stats() Stats {
 
 // RMABytes reports total RMA bytes moved into rank's regions.
 func (f *Fabric) RMABytes(rank int) int64 { return f.rank(rank).rmaBytes.Load() }
+
+// pacerEpoch anchors Pacer timestamps to a process-local monotonic clock.
+var pacerEpoch = time.Now()
+
+// Pacer models the serial operation pipeline of one NIC endpoint (WQE
+// fetch, doorbell processing, DMA scheduling): the endpoint drains one
+// operation per gap nanoseconds, with a short queue in front of the
+// pipeline so bursts are absorbed rather than refused (like WQEs waiting
+// in the send queue). Once the queue of booked slots runs a full burst
+// window ahead of real time, further posts are refused — the provider
+// surfaces that as transmit-queue backpressure, and the caller retries
+// through the normal LCI retry machinery. This is what makes device-count
+// scaling visible in the simulation on any host core count: a single
+// endpoint sustains at most 1/gap operations per second however many
+// threads feed it, while N endpoints sustain N/gap, mirroring the
+// injection-rate parallelism of real multi-QP / multi-VCI hardware.
+type Pacer struct {
+	gap   int64
+	burst int64
+	next  atomic.Int64 // time the pipeline frees (monotonic ns since pacerEpoch)
+}
+
+// pacerBurst is how many pipeline slots may be booked ahead of real time:
+// deep enough that a handful of threads posting simultaneously all get
+// slots, shallow enough that sustained overload still backpressures.
+const pacerBurst = 4
+
+// Init sets the pacing gap in nanoseconds; zero disables pacing.
+func (p *Pacer) Init(gapNs int) {
+	p.gap = int64(gapNs)
+	p.burst = pacerBurst
+}
+
+// Release returns a slot booked by TryReserve when the operation it was
+// booked for never reached the wire (e.g. the send queue rejected it):
+// a failed post must not burn modeled injection bandwidth.
+func (p *Pacer) Release() {
+	if p.gap != 0 {
+		p.next.Add(-p.gap)
+	}
+}
+
+// TryReserve books the endpoint's next pipeline slot. It reports false —
+// backpressure — when the pipeline is already booked a full burst window
+// into the future.
+func (p *Pacer) TryReserve() bool {
+	if p.gap == 0 {
+		return true
+	}
+	now := time.Since(pacerEpoch).Nanoseconds()
+	for {
+		next := p.next.Load()
+		if next-now > (p.burst-1)*p.gap {
+			return false
+		}
+		booked := next
+		if booked < now {
+			booked = now // idle pipeline: the slot starts immediately
+		}
+		if p.next.CompareAndSwap(next, booked+p.gap) {
+			return true
+		}
+	}
+}

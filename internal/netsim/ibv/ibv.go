@@ -69,6 +69,18 @@ type Config struct {
 	RecvOverheadNs int        // per-CQE consumption cost (default 100)
 	InlineSize     int        // max_inline_data: largest unsignaled inline send (default 220, mlx5-like)
 	Strategy       TDStrategy // thread-domain strategy (default per_qp)
+	// InjectGapNs is the minimum spacing between operations injected
+	// through one device — the serialization of the endpoint's WQE
+	// fetch / doorbell / DMA pipeline, which on real NICs caps what a
+	// single QP/CQ set can absorb no matter how many threads feed it.
+	// Posts arriving faster see ErrTxFull backpressure and must retry,
+	// so replicating devices (the paper's multi-device mode) raises a
+	// rank's injection ceiling proportionally. Zero disables pacing.
+	// Like the overhead knobs it is calibrated for shape, not absolute
+	// hardware numbers: one endpoint must saturate below what one host
+	// core can inject, or device-count scaling would be invisible in
+	// the simulation.
+	InjectGapNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +137,7 @@ type Device struct {
 	cqMu    spin.Mutex // completion queue lock
 	txEv    *mpmc.Queue[fabric.Completion]
 	credits atomic.Int32
+	pacer   fabric.Pacer // per-endpoint injection pipeline (InjectGapNs)
 
 	closed atomic.Bool
 }
@@ -137,6 +150,7 @@ func (c *Context) NewDevice() *Device {
 		txEv: mpmc.NewQueue[fabric.Completion](256),
 	}
 	d.credits.Store(int32(c.cfg.TxDepth))
+	d.pacer.Init(c.cfg.InjectGapNs)
 
 	n := c.fab.NumRanks()
 	switch c.cfg.Strategy {
@@ -199,9 +213,13 @@ func (d *Device) Endpoint() *fabric.Endpoint { return d.ep }
 // WQE carries the payload, the buffer is reusable on return, and no CQE is
 // ever generated), which is how the real driver makes small sends cheap.
 func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	if !d.pacer.TryReserve() {
+		return ErrTxFull // endpoint WQE pipeline busy: backpressure, retry
+	}
 	inline := ctx == nil && len(data) <= d.ctx.cfg.InlineSize
 	if !inline {
 		if err := d.takeCredit(); err != nil {
+			d.pacer.Release()
 			return err
 		}
 	}
@@ -216,6 +234,7 @@ func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) er
 		if !inline {
 			d.credits.Add(1)
 		}
+		d.pacer.Release()
 		return ErrTxFull // receiver RNR-saturated: behaves like tx backpressure
 	}
 	if !inline {
@@ -228,7 +247,11 @@ func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) er
 // happens under the QP/doorbell locks; the data movement (simulated DMA)
 // happens outside them, as on real hardware.
 func (d *Device) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	if !d.pacer.TryReserve() {
+		return ErrTxFull
+	}
 	if err := d.takeCredit(); err != nil {
+		d.pacer.Release()
 		return err
 	}
 	q := d.qps[dst]
@@ -239,6 +262,7 @@ func (d *Device) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte,
 	q.td.Unlock()
 	if err := d.ctx.fab.Write(dst, notifyDev, d.ctx.rank, rkey, offset, data, imm, hasImm); err != nil {
 		d.credits.Add(1)
+		d.pacer.Release()
 		return err
 	}
 	d.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
@@ -248,7 +272,11 @@ func (d *Device) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte,
 // PostRead posts an RMA read from (rkey, offset) at dst into the local
 // buffer into. A ReadDone completion carrying ctx surfaces from PollCQ.
 func (d *Device) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	if !d.pacer.TryReserve() {
+		return ErrTxFull
+	}
 	if err := d.takeCredit(); err != nil {
+		d.pacer.Release()
 		return err
 	}
 	q := d.qps[dst]
@@ -259,6 +287,7 @@ func (d *Device) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) er
 	q.td.Unlock()
 	if err := d.ctx.fab.Read(dst, rkey, offset, into); err != nil {
 		d.credits.Add(1)
+		d.pacer.Release()
 		return err
 	}
 	d.txEv.Enqueue(fabric.Completion{Kind: fabric.ReadDone, Ctx: ctx})

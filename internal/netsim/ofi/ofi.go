@@ -33,6 +33,11 @@ type Config struct {
 	RecvOverheadNs int // per-completion cost under the endpoint lock (default 120)
 	RegCacheNs     int // registration-cache lookup under the domain mutex, paid on (almost) every op (default 60)
 	RegisterNs     int // full registration cost under the domain mutex (default 400)
+	// InjectGapNs is the minimum spacing between operations injected
+	// through one endpoint (the cxi command-queue/DMA pipeline, analogous
+	// to ibv.Config.InjectGapNs); early posts see ErrTxFull backpressure.
+	// Zero disables pacing. See fabric.Pacer for the model.
+	InjectGapNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +107,7 @@ type Endpoint struct {
 	mu      spin.Mutex
 	txEv    *mpmc.Queue[fabric.Completion]
 	credits atomic.Int32
+	pacer   fabric.Pacer // per-endpoint injection pipeline (InjectGapNs)
 }
 
 // Index returns the endpoint's fabric index within its rank.
@@ -115,6 +121,7 @@ func (e *Endpoint) FabricEndpoint() *fabric.Endpoint { return e.ep }
 func (d *Domain) NewEndpoint() *Endpoint {
 	e := &Endpoint{dom: d, ep: d.fab.NewEndpoint(d.rank), txEv: mpmc.NewQueue[fabric.Completion](256)}
 	e.credits.Store(int32(d.cfg.TxDepth))
+	e.pacer.Init(d.cfg.InjectGapNs)
 	return e
 }
 
@@ -131,9 +138,13 @@ func (e *Endpoint) takeCredit() error {
 // completion context that fits the inject ceiling is posted as fi_inject:
 // the buffer is reusable on return and no local completion is generated.
 func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	if !e.pacer.TryReserve() {
+		return ErrTxFull // endpoint command pipeline busy: backpressure, retry
+	}
 	inject := ctx == nil && len(data) <= e.dom.cfg.InjectSize
 	if !inject {
 		if err := e.takeCredit(); err != nil {
+			e.pacer.Release()
 			return err
 		}
 	}
@@ -146,6 +157,7 @@ func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) 
 		if !inject {
 			e.credits.Add(1)
 		}
+		e.pacer.Release()
 		return ErrTxFull
 	}
 	if !inject {
@@ -156,7 +168,11 @@ func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) 
 
 // PostWrite posts an RMA write (optionally with immediate).
 func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	if !e.pacer.TryReserve() {
+		return ErrTxFull
+	}
 	if err := e.takeCredit(); err != nil {
+		e.pacer.Release()
 		return err
 	}
 	e.dom.regCacheLookup()
@@ -165,6 +181,7 @@ func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byt
 	e.mu.Unlock()
 	if err := e.dom.fab.Write(dst, notifyDev, e.dom.rank, rkey, offset, data, imm, hasImm); err != nil {
 		e.credits.Add(1)
+		e.pacer.Release()
 		return err
 	}
 	e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})
@@ -173,7 +190,11 @@ func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byt
 
 // PostRead posts an RMA read.
 func (e *Endpoint) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	if !e.pacer.TryReserve() {
+		return ErrTxFull
+	}
 	if err := e.takeCredit(); err != nil {
+		e.pacer.Release()
 		return err
 	}
 	e.dom.regCacheLookup()
@@ -182,6 +203,7 @@ func (e *Endpoint) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) 
 	e.mu.Unlock()
 	if err := e.dom.fab.Read(dst, rkey, offset, into); err != nil {
 		e.credits.Add(1)
+		e.pacer.Release()
 		return err
 	}
 	e.txEv.Enqueue(fabric.Completion{Kind: fabric.ReadDone, Ctx: ctx})

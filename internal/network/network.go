@@ -60,6 +60,10 @@ type Device interface {
 	RegisterMem(buf []byte) (uint64, error)
 	// DeregisterMem removes a registration.
 	DeregisterMem(rkey uint64) error
+	// Stats snapshots the device's fabric-endpoint counters (messages,
+	// bytes, RNR events, posted receives). Multi-device runs read these
+	// to verify traffic really strips across endpoints.
+	Stats() fabric.Stats
 	// Close releases the device.
 	Close() error
 }
@@ -196,6 +200,8 @@ func (d *ibvDevice) DeregisterMem(rkey uint64) error {
 	return nil
 }
 
+func (d *ibvDevice) Stats() fabric.Stats { return d.dev.Endpoint().Stats() }
+
 func (d *ibvDevice) Close() error {
 	d.dev.Close()
 	return nil
@@ -302,5 +308,7 @@ func (d *ofiDevice) DeregisterMem(rkey uint64) error {
 	d.ep.DeregisterMem(rkey)
 	return nil
 }
+
+func (d *ofiDevice) Stats() fabric.Stats { return d.ep.FabricEndpoint().Stats() }
 
 func (d *ofiDevice) Close() error { return nil }

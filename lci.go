@@ -90,6 +90,9 @@ type (
 type (
 	// Device encapsulates a set of low-level network resources.
 	Device = core.Device
+	// Affinity pins a goroutine to one pool device plus its own packet
+	// worker (Runtime.RegisterThread).
+	Affinity = core.Affinity
 	// MatchEngine is an allocated matching engine.
 	MatchEngine = core.MatchEngine
 	// Worker is a packet-pool worker handle (one per goroutine).
@@ -256,11 +259,28 @@ func (rt *Runtime) Close() error { return rt.core.Close() }
 // Core exposes the underlying core runtime (benchmark harness use).
 func (rt *Runtime) Core() *core.Runtime { return rt.core }
 
-// NewDevice allocates a device (alloc_device).
+// NewDevice allocates a device (alloc_device) and adds it to the pool.
 func (rt *Runtime) NewDevice() (*Device, error) { return rt.core.NewDevice() }
 
-// DefaultDevice returns the runtime's default device.
+// DefaultDevice returns the runtime's default device (pool device 0).
 func (rt *Runtime) DefaultDevice() *Device { return rt.core.DefaultDevice() }
+
+// NumDevices returns the size of the runtime's device pool (configured
+// with core.Config.NumDevices, plus any allocated with NewDevice).
+func (rt *Runtime) NumDevices() int { return rt.core.NumDevices() }
+
+// Device returns pool device i; symmetric jobs reach the peer's i-th
+// device by posting on their own i-th device.
+func (rt *Runtime) Device(i int) *Device { return rt.core.Device(i) }
+
+// RegisterThread pins the calling goroutine to a pool device (round-robin
+// over the pool) and registers a packet-pool worker for it. Pass the
+// handle to posting calls with WithAffinity; unpinned posts stripe
+// round-robin across the pool instead.
+func (rt *Runtime) RegisterThread() *Affinity { return rt.core.RegisterThread() }
+
+// RegisterThreadOn pins the calling goroutine to pool device idx.
+func (rt *Runtime) RegisterThreadOn(idx int) *Affinity { return rt.core.RegisterThreadOn(idx) }
 
 // NewMatchingEngine allocates a matching engine (0 buckets = default
 // size). All ranks must allocate engines in the same order.
@@ -295,9 +315,13 @@ func (rt *Runtime) DeregisterMemory(d *Device, rkey uint64) error {
 // messages use the zero-copy rendezvous protocol.
 func (rt *Runtime) MaxEager() int { return rt.core.MaxEager() }
 
-// Progress makes progress on the default device (§4.2.7). Use
-// lci.OnDevice to progress a specific device.
-func (rt *Runtime) Progress() int { return rt.core.DefaultDevice().Progress() }
+// Progress makes one progress round on every pool device (§4.2.7) and
+// returns the total completions processed. With a single-device pool this
+// is exactly one device round; with striping, completions for unpinned
+// operations can land on any pool endpoint, so the generic wait loop must
+// cover them all. Threads pinned with RegisterThread progress only their
+// own device via Affinity.Progress or ProgressDevice.
+func (rt *Runtime) Progress() int { return rt.core.ProgressAll() }
 
 // ProgressDevice makes progress on a specific device; d == nil selects the
 // default.

@@ -3,10 +3,13 @@ package lci_test
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"lci"
+	"lci/internal/core"
 )
 
 // spinUntil progresses rt until pred is true or the deadline passes.
@@ -379,22 +382,6 @@ func TestGet(t *testing.T) {
 	})
 }
 
-func TestBarrierManyRanks(t *testing.T) {
-	w := lci.NewWorld(7)
-	defer w.Close()
-	err := w.Launch(func(rt *lci.Runtime) error {
-		for i := 0; i < 5; i++ {
-			if err := rt.Barrier(); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
 // TestTable1PostCommMatrix verifies the full Table 1: which combinations
 // of direction, remote buffer and remote completion are valid, and which
 // paradigm each one instantiates.
@@ -491,6 +478,83 @@ func TestTable1PostCommMatrix(t *testing.T) {
 			}
 		}
 		return rt.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierManyRanks: the dissemination barrier must synchronize more
+// than two ranks, repeatedly, on every platform.
+func TestBarrierManyRanks(t *testing.T) {
+	forEachPlatform(t, func(t *testing.T, p lci.Platform) {
+		const ranks, rounds = 5, 6
+		w := lci.NewWorld(ranks, lci.WithPlatform(p))
+		defer w.Close()
+		// entered[r] counts barrier rounds rank r has completed; after each
+		// barrier every rank must observe all peers at least at its own
+		// round — a straggler would prove the barrier released early.
+		var entered [ranks]atomic.Int64
+		err := w.Launch(func(rt *lci.Runtime) error {
+			for round := 1; round <= rounds; round++ {
+				entered[rt.Rank()].Store(int64(round))
+				if err := rt.Barrier(); err != nil {
+					return err
+				}
+				for r := 0; r < ranks; r++ {
+					if got := entered[r].Load(); got < int64(round) {
+						return fmt.Errorf("rank %d saw rank %d at round %d during round %d",
+							rt.Rank(), r, got, round)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBarrierMultiDeviceConcurrentProgress: barriers over a multi-device
+// pool while a background goroutine per rank hammers the whole pool's
+// progress engines. Barrier posts stripe across the devices, so arrivals
+// land on every endpoint; the test must stay race-clean and never hang.
+func TestBarrierMultiDeviceConcurrentProgress(t *testing.T) {
+	const ranks, rounds = 4, 8
+	w := lci.NewWorld(ranks, lci.WithRuntimeConfig(core.Config{
+		NumDevices:       2,
+		PacketsPerWorker: 256,
+		PreRecvs:         64,
+	}))
+	defer w.Close()
+	err := w.Launch(func(rt *lci.Runtime) error {
+		if rt.NumDevices() != 2 {
+			return fmt.Errorf("pool size = %d, want 2", rt.NumDevices())
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rt.Progress() // whole pool, concurrently with Barrier's own progress
+				}
+			}
+		}()
+		var err error
+		for round := 0; round < rounds; round++ {
+			if err = rt.Barrier(); err != nil {
+				break
+			}
+		}
+		close(stop)
+		wg.Wait()
+		return err
 	})
 	if err != nil {
 		t.Fatal(err)

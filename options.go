@@ -16,11 +16,18 @@ import (
 // variants.
 type Option func(*core.Options)
 
-// WithDevice posts the operation on a specific device instead of the
-// runtime default. One device per thread is the dedicated-resource mode of
-// the paper's evaluation.
+// WithDevice posts the operation on a specific device instead of letting
+// the runtime stripe it across the device pool. One device per thread is
+// the dedicated-resource mode of the paper's evaluation.
 func WithDevice(d *Device) Option {
 	return func(o *core.Options) { o.Device = d }
+}
+
+// WithAffinity posts with a goroutine's pinned device and packet worker
+// (Runtime.RegisterThread) in one option — the multi-device analogue of
+// WithDevice+WithWorker.
+func WithAffinity(a *Affinity) Option {
+	return func(o *core.Options) { o.Affinity = a }
 }
 
 // WithMatchingEngine matches on a specific engine instead of the runtime
@@ -64,11 +71,15 @@ func WithRemoteSize(n int) Option {
 	}
 }
 
-// WithRemoteDevice hints which peer endpoint receives the operation
+// WithRemoteDevice selects which peer endpoint receives the operation
 // (default: the posting device's own index — symmetric jobs pair device i
-// with device i).
+// with device i). Device 0 is explicitly addressable: the option records
+// that a choice was made rather than treating 0 as "unset".
 func WithRemoteDevice(idx int) Option {
-	return func(o *core.Options) { o.RemoteDevice = idx }
+	return func(o *core.Options) {
+		o.RemoteDevice = idx
+		o.RemoteDeviceSet = true
+	}
 }
 
 // WithContext attaches an opaque user context that completion statuses

@@ -46,6 +46,7 @@ func SimExpanse() Platform {
 			TxDepth:        256,
 			SendOverheadNs: 150,
 			RecvOverheadNs: 100,
+			InjectGapNs:    8000,
 			Strategy:       ibv.TDPerQP,
 		},
 		PendingCap: 1024,
@@ -67,6 +68,7 @@ func SimDelta() Platform {
 			RecvOverheadNs: 120,
 			RegCacheNs:     60,
 			RegisterNs:     400,
+			InjectGapNs:    7000,
 		},
 		PendingCap: 1024,
 	}
