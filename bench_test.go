@@ -31,6 +31,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/netsim/raw"
 	"lci/internal/rpc"
+	"lci/internal/topo"
 )
 
 // leanWorld builds an LCI world with application-scale resource quotas
@@ -117,6 +118,36 @@ func BenchmarkMessageRateDevices(b *testing.B) {
 					b.ReportMetric(res.RateMps, "Mmsg/s")
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkMessageRateLocality: NUMA-placement message rate at a fixed
+// thread count — the locality-aware placement versus the worst-case
+// placement on each platform's synthetic node topology scaled to the
+// thread count (the standing TestNumaPlacementShape gate runs the
+// 2-domain comparison and writes BENCH_numa.json).
+func BenchmarkMessageRateLocality(b *testing.B) {
+	const threads, devices = 8, 4
+	for _, plat := range benchPlatforms() {
+		for _, domains := range []int{2, 4} {
+			tp := topo.Uniform(domains, threads/domains)
+			for _, worst := range []bool{false, true} {
+				mode := "local"
+				if worst {
+					mode = "worst"
+				}
+				name := fmt.Sprintf("%s/domains=%d/%s", plat.Name, domains, mode)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := bench.MessageRateLocality(plat, tp, threads, devices, 2000, worst)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(res.RateMps, "Mmsg/s")
+					}
+				})
+			}
 		}
 	}
 }

@@ -3,8 +3,8 @@
 // regresses by more than the allowed fraction. CI runs it after the full
 // test pass — which rewrites the artifacts in the working tree — against
 // the baselines saved from the previous commit, turning the tracked
-// BENCH_fig4.json / BENCH_fig6.json / BENCH_devscale.json files into a
-// standing performance-regression gate.
+// BENCH_fig4.json / BENCH_fig6.json / BENCH_devscale.json /
+// BENCH_numa.json files into a standing performance-regression gate.
 //
 // Usage:
 //
@@ -12,20 +12,22 @@
 //
 // With no names, every BENCH_*.json present in the baseline directory is
 // compared. Result entries are matched by their identity fields (library,
-// platform, mode, pairs/threads/devices/size, resource name) and compared
-// on their rate metric (RateMps, GBps or Mops — whichever the entry
-// carries). Entries present only in one file are reported but do not fail
-// the gate: benches come and go; regressions on live points must not.
+// platform, mode, pairs/threads/devices/domains/size, resource name) and
+// compared on their rate metric (RateMps, GBps or Mops — whichever the
+// entry carries). Entries present only in one file are reported but do
+// not fail the gate: benches come and go; regressions on live points must
+// not. The comparison logic lives in internal/benchgate; this is the
+// flag-parsing shell.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
+
+	"lci/internal/benchgate"
 )
 
 var (
@@ -33,102 +35,6 @@ var (
 	currentDir  = flag.String("current", ".", "directory holding the freshly written BENCH_*.json files")
 	maxDrop     = flag.Float64("max-drop", 0.30, "largest tolerated fractional rate drop per series point")
 )
-
-// metricFields are the recognized rate metrics, in preference order.
-var metricFields = []string{"RateMps", "GBps", "Mops"}
-
-// artifact mirrors bench.Artifact loosely: only the fields the gate needs,
-// tolerant of older envelope layouts (it ignores everything but results).
-type artifact struct {
-	Bench   string           `json:"bench"`
-	Results []map[string]any `json:"results"`
-}
-
-func load(path string) (*artifact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var a artifact
-	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &a, nil
-}
-
-// key builds a stable identity for one result entry from everything that
-// is not a measurement: string fields plus integer-valued configuration
-// fields (Pairs, Threads, Devices, Size), excluding counters and timings.
-func key(r map[string]any) string {
-	skip := map[string]bool{
-		"Msgs": true, "Bytes": true, "Seconds": true, "Ops": true,
-		"RateMps": true, "GBps": true, "Mops": true,
-	}
-	parts := make([]string, 0, len(r))
-	for k, v := range r {
-		if skip[k] {
-			continue
-		}
-		switch v := v.(type) {
-		case string:
-			parts = append(parts, fmt.Sprintf("%s=%s", k, v))
-		case float64:
-			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
-		}
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, " ")
-}
-
-func metric(r map[string]any) (string, float64, bool) {
-	for _, f := range metricFields {
-		if v, ok := r[f].(float64); ok && v > 0 {
-			return f, v, true
-		}
-	}
-	return "", 0, false
-}
-
-func compare(name, basePath, curPath string) (failures int, err error) {
-	base, err := load(basePath)
-	if err != nil {
-		return 0, err
-	}
-	cur, err := load(curPath)
-	if err != nil {
-		return 0, err
-	}
-	curByKey := make(map[string]map[string]any, len(cur.Results))
-	for _, r := range cur.Results {
-		curByKey[key(r)] = r
-	}
-	for _, br := range base.Results {
-		k := key(br)
-		field, baseVal, ok := metric(br)
-		if !ok {
-			continue // baseline entry carries no rate metric: nothing to gate
-		}
-		cr, ok := curByKey[k]
-		if !ok {
-			fmt.Printf("  [%s] no current entry for baseline point {%s} — skipped\n", name, k)
-			continue
-		}
-		_, curVal, ok := metric(cr)
-		if !ok {
-			fmt.Printf("  [%s] current entry {%s} has no rate metric — skipped\n", name, k)
-			continue
-		}
-		drop := (baseVal - curVal) / baseVal
-		status := "ok"
-		if drop > *maxDrop {
-			status = "REGRESSION"
-			failures++
-		}
-		fmt.Printf("  [%s] %-10s %s: %s %.3f -> %.3f (%+.1f%%)\n",
-			name, status, k, field, baseVal, curVal, -drop*100)
-	}
-	return failures, nil
-}
 
 func main() {
 	flag.Parse()
@@ -148,6 +54,7 @@ func main() {
 			names = append(names, strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json"))
 		}
 	}
+	logf := func(format string, args ...any) { fmt.Printf(format, args...) }
 	totalFailures := 0
 	for _, name := range names {
 		basePath := filepath.Join(*baselineDir, "BENCH_"+name+".json")
@@ -160,7 +67,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("[%s] comparing %s against %s (max drop %.0f%%)\n", name, curPath, basePath, *maxDrop*100)
-		failures, err := compare(name, basePath, curPath)
+		failures, err := benchgate.CompareFiles(name, basePath, curPath, *maxDrop, logf)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lci-benchgate: %v\n", err)
 			os.Exit(2)

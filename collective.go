@@ -17,6 +17,16 @@ import (
 // traffic.
 const barrierTag = 1 << 20
 
+// barrierEpochWindow bounds the barrier's tag space: epochs recycle
+// modulo this window, so tags stay within
+// [barrierTag, barrierTag+barrierEpochWindow*64) forever instead of
+// growing without bound. The dissemination barrier fully synchronizes:
+// when any rank finishes epoch e, every rank has at least entered e, so
+// unmatched messages can only belong to epochs e and e+1 — any window
+// of two or more epochs keeps recycled tags collision-free. 64 leaves a
+// wide safety margin at no cost.
+const barrierEpochWindow = 64
+
 // Barrier blocks until every rank has entered the barrier, progressing
 // the chosen device while waiting (options: WithDevice, WithWorker).
 // Every rank must call Barrier the same number of times.
@@ -30,7 +40,7 @@ func (rt *Runtime) Barrier(opts ...Option) error {
 	}
 	me := rt.barrierME
 	epoch := rt.barrierEpoch
-	rt.barrierEpoch++
+	rt.barrierEpoch = (rt.barrierEpoch + 1) % barrierEpochWindow
 	base := barrierTag + epoch*64
 
 	var payload [1]byte

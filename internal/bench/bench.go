@@ -12,16 +12,19 @@ import (
 	"time"
 
 	"lci"
+	"lci/internal/core"
 	"lci/internal/lcw"
+	"lci/internal/topo"
 )
 
 // RateResult is one point of a message-rate series.
 type RateResult struct {
 	Library  string  // lci, mpi, mpix, gasnet
 	Platform string  // SimExpanse / SimDelta
-	Mode     string  // process / thread-dedicated / thread-shared / multi-device
+	Mode     string  // process / thread-dedicated / thread-shared / multi-device / numa-*
 	Pairs    int     // communicating pairs (processes or threads per side)
 	Devices  int     `json:",omitempty"` // LCI device-pool size (multi-device mode)
+	Domains  int     `json:",omitempty"` // NUMA domain count (locality mode)
 	Msgs     int64   // unidirectional messages counted
 	Seconds  float64 // wall time
 	RateMps  float64 // million messages per second (unidirectional)
@@ -138,6 +141,47 @@ func MessageRateDevices(platform lci.Platform, threads, devices, iters int) (Rat
 	return RateResult{
 		Library: lcw.LCI.String(), Platform: platform.Name, Mode: "multi-device",
 		Pairs: threads, Devices: devices, Msgs: msgs, Seconds: elapsed.Seconds(),
+		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
+// MessageRateLocality runs the NUMA-placement mode: two ranks, threads
+// goroutines per rank (thread t on virtual core t of the given topology),
+// a device pool of `devices` bound to domains by the placement policy,
+// 8-byte AM ping-pongs. worst=false measures LocalPlacement (threads on
+// same-domain devices); worst=true measures WorstPlacement (every thread
+// on the farthest domain's devices), the placement-quality baseline the
+// TestNumaPlacementShape gate compares against. The cross-domain penalty
+// of the provider simulations is what separates the two.
+func MessageRateLocality(platform lci.Platform, t *topo.Topology, threads, devices, iters int, worst bool) (RateResult, error) {
+	var place core.Placement = core.LocalPlacement{}
+	mode := "numa-local"
+	if worst {
+		place = core.WorstPlacement{}
+		mode = "numa-worst"
+	}
+	cfg := lcw.Config{
+		Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: threads,
+		Devices: devices, Topology: t, Placement: place, MaxAM: 64,
+	}
+	job, err := lcw.NewJob(cfg, platform)
+	if err != nil {
+		return RateResult{}, err
+	}
+	defer job.Close()
+
+	elapsed := runPingPong(job, threads, iters, 8, func(pair int) (lcw.Comm, int, bool) {
+		if pair < threads {
+			return job.Comm(0), 1, true
+		}
+		return job.Comm(1), 0, false
+	}, 2*threads)
+
+	msgs := int64(threads) * int64(iters)
+	return RateResult{
+		Library: lcw.LCI.String(), Platform: platform.Name, Mode: mode,
+		Pairs: threads, Devices: devices, Domains: t.Domains(),
+		Msgs: msgs, Seconds: elapsed.Seconds(),
 		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"lci"
 	"lci/internal/bench"
 	"lci/internal/lcw"
+	"lci/internal/topo"
 )
 
 // TestFig4Shape is the reproduction's headline assertion: with many
@@ -109,6 +110,54 @@ func TestDevScaleShape(t *testing.T) {
 	if r1, r4 := results[0].RateMps, results[len(results)-1].RateMps; r4 < 1.5*r1 {
 		t.Errorf("expected >=1.5x rate at 4 devices vs 1, got %.3f vs %.3f Mmsg/s (%.2fx)",
 			r4, r1, r4/r1)
+	}
+}
+
+// TestNumaPlacementShape is the standing NUMA-placement gate: on a
+// synthetic 2-domain topology with a 4-device pool and 8 threads, the
+// locality-aware placement (threads pinned to same-domain devices) must
+// beat the worst-case placement (every thread pinned to the far domain's
+// devices) by at least 1.3x. The only difference between the two runs is
+// which devices threads pin to — the cross-domain penalty the provider
+// sims charge (CrossDomainNs per topology hop on every post and non-empty
+// progress round) is what separates them, so this gate is what keeps the
+// penalty model and the placement machinery honest end to end. Measured
+// points go to BENCH_numa.json.
+func TestNumaPlacementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NUMA placement comparison is not short")
+	}
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
+	}
+	const threads, devices, iters = 8, 4, 8000
+	tp := topo.Uniform(2, threads/2) // 2 domains, cores 0-3 / 4-7
+	var local, worstRes bench.RateResult
+	// Scheduler noise on small CI machines occasionally craters one
+	// measurement; re-measure once before declaring a regression.
+	for attempt := 0; attempt < 2; attempt++ {
+		var err error
+		local, err = bench.MessageRateLocality(lci.SimExpanse(), tp, threads, devices, iters, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worstRes, err = bench.MessageRateLocality(lci.SimExpanse(), tp, threads, devices, iters, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("local placement: %v", local)
+		t.Logf("worst placement: %v", worstRes)
+		if local.RateMps >= 1.3*worstRes.RateMps {
+			break
+		}
+	}
+	meta := bench.Meta{Threads: threads, Devices: devices, Domains: tp.Domains(), Platform: lci.SimExpanse().Name}
+	if err := bench.WriteJSON("numa", meta, []bench.RateResult{local, worstRes}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
+	if local.RateMps < 1.3*worstRes.RateMps {
+		t.Errorf("expected local placement >= 1.3x worst-case remote placement, got %.3f vs %.3f Mmsg/s (%.2fx)",
+			local.RateMps, worstRes.RateMps, local.RateMps/worstRes.RateMps)
 	}
 }
 

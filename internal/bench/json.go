@@ -25,6 +25,9 @@ type Meta struct {
 	Devices int `json:"devices,omitempty"`
 	// Platform names the simulated platform (SimExpanse / SimDelta).
 	Platform string `json:"platform,omitempty"`
+	// Domains is the NUMA domain count of the synthetic topology when the
+	// whole artifact was measured at one (BENCH_numa.json).
+	Domains int `json:"domains,omitempty"`
 	// GoVersion, GOOS and GOARCH identify the toolchain and host (filled
 	// automatically).
 	GoVersion string `json:"go_version"`

@@ -11,6 +11,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/topo"
 )
 
 // Device encapsulates a complete set of low-level network resources
@@ -23,6 +24,10 @@ type Device struct {
 	worker *packet.Worker
 	bq     *backlog.Queue
 	tokens tokenTable
+	// domain is the NUMA domain the device's resources are bound to by
+	// the placement policy (topo.UnknownDomain when the runtime has no
+	// multi-domain topology; the locality machinery is then inert).
+	domain int
 
 	// recvDeficit counts pre-posted receive slots that have been consumed
 	// (or never posted) and must be replenished by progress.
@@ -43,7 +48,10 @@ type Device struct {
 
 // NewDevice allocates a new device (alloc_device in the paper) and adds
 // it to the runtime's device pool: it joins the round-robin stripe for
-// unpinned posts and is progressed by ProgressAll.
+// unpinned posts and is progressed by ProgressAll. With a multi-domain
+// topology the placement policy binds the device's resources — network
+// endpoint and packet-worker slab — to a NUMA domain before any traffic
+// flows.
 func (rt *Runtime) NewDevice() (*Device, error) {
 	if rt.closed {
 		return nil, ErrClosed
@@ -52,16 +60,28 @@ func (rt *Runtime) NewDevice() (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	dom := topo.UnknownDomain
+	if t := rt.cfg.Topology; !t.Single() {
+		dom = rt.cfg.Placement.DeviceDomain(t, nd.Index(), rt.cfg.NumDevices)
+		if dom < 0 || dom >= t.Domains() {
+			dom = nd.Index() % t.Domains() // defensive: policy bug, stay in the topology
+		}
+		nd.BindDomain(dom)
+	}
 	d := &Device{
 		rt:        rt,
 		net:       nd,
-		worker:    rt.pool.RegisterWorker(),
+		domain:    dom,
+		worker:    rt.pool.RegisterWorkerIn(dom),
 		bq:        backlog.New(),
 		compBatch: make([]network.Completion, 32),
 	}
 	d.recvDeficit.Store(int64(rt.cfg.PreRecvs))
 	d.replenish(d.worker)
-	rt.devs.Append(d)
+	idx := rt.devs.Append(d)
+	if dom >= 0 && dom < len(rt.domDevs) {
+		rt.domDevs[dom].Append(idx)
+	}
 	return d, nil
 }
 
@@ -72,6 +92,23 @@ func (d *Device) Index() int { return d.net.Index() }
 
 // Runtime returns the owning runtime.
 func (d *Device) Runtime() *Runtime { return d.rt }
+
+// Domain returns the NUMA domain the device's resources are bound to
+// (topo.UnknownDomain when the runtime has no multi-domain topology).
+func (d *Device) Domain() int { return d.domain }
+
+// crossDelay charges the provider's modeled cross-domain access cost when
+// the worker driving the device lives in a different NUMA domain than the
+// device's resources (§4.2.2's locality assumption, made measurable). The
+// guard keeps the topology-oblivious paths at two loads.
+func (d *Device) crossDelay(w *packet.Worker) {
+	if d.domain < 0 {
+		return
+	}
+	if from := w.Domain(); from >= 0 && from != d.domain {
+		d.net.CrossDelay(from)
+	}
+}
 
 // Close frees the device (free_device in the paper).
 func (d *Device) Close() error { return d.net.Close() }
@@ -158,6 +195,11 @@ func (d *Device) progressSlow(w *packet.Worker) int {
 	if !d.pollMu.TryLock() {
 		return 0
 	}
+	// The round's owner pays the cross-domain cost once when polling from
+	// a remote domain (CQE lines and packet slabs crossing the socket
+	// interconnect); losers of the try-lock did no CQ work and pay
+	// nothing, and the empty-poll fast path stays free.
+	d.crossDelay(w)
 	comps := d.compBatch
 	n, err := d.net.PollCQ(comps)
 	if err != nil || n == 0 {

@@ -1,0 +1,91 @@
+package core
+
+import "lci/internal/topo"
+
+// Placement is the pluggable resource-placement policy (Config.Placement):
+// it decides which NUMA domain each pool device's backing resources bind
+// to, and which pool device a registering thread pins to. The paper's
+// resource model (§4.2.2, §5) assumes replicated devices only scale when
+// their CQs, packet slabs and pre-posted buffers are local to the threads
+// driving them; the provider simulations charge a cross-domain penalty
+// precisely so that the difference between placement policies is
+// measurable (DESIGN.md §3).
+type Placement interface {
+	// DeviceDomain returns the NUMA domain pool device dev (of a pool
+	// configured with ndev devices) binds its resources to.
+	DeviceDomain(t *topo.Topology, dev, ndev int) int
+	// ThreadDevice returns the pool-device index for a registering thread
+	// resolved to domain dom. seq counts prior registrations from the same
+	// domain (for spreading threads over a domain's devices) and
+	// devDomains[i] is pool device i's bound domain.
+	ThreadDevice(t *topo.Topology, dom int, seq uint64, devDomains []int) int
+}
+
+// domainDevices collects the pool-device indices bound to domain dom.
+func domainDevices(devDomains []int, dom int) []int {
+	var out []int
+	for i, d := range devDomains {
+		if d == dom {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pickByDistance scans the topology's domains for ones that have pool
+// devices and returns the seq-th device (round-robin) of the domain whose
+// distance from dom wins under `better` — nearest-first for the local
+// policy, farthest-first for the adversary. With no bound devices at all
+// it degrades to a plain round-robin over the pool.
+func pickByDistance(t *topo.Topology, dom int, seq uint64, devDomains []int, better func(dist, best int) bool) int {
+	best, bestDist := -1, 0
+	var bestDevs []int
+	for d := 0; d < t.Domains(); d++ {
+		devs := domainDevices(devDomains, d)
+		if len(devs) == 0 {
+			continue
+		}
+		if dist := t.Distance(dom, d); best < 0 || better(dist, bestDist) {
+			best, bestDist, bestDevs = d, dist, devs
+		}
+	}
+	if best < 0 {
+		return int(seq % uint64(len(devDomains)))
+	}
+	return bestDevs[seq%uint64(len(bestDevs))]
+}
+
+// LocalPlacement is the default policy: devices spread round-robin over
+// the topology's domains (device i binds to domain i mod D), and a thread
+// pins to the devices of its own domain round-robin, falling back to the
+// nearest domain that has devices. On a single-domain topology both rules
+// collapse to the plain round-robin pool of the locality-oblivious
+// runtime.
+type LocalPlacement struct{}
+
+func (LocalPlacement) DeviceDomain(t *topo.Topology, dev, ndev int) int {
+	return dev % t.Domains()
+}
+
+func (LocalPlacement) ThreadDevice(t *topo.Topology, dom int, seq uint64, devDomains []int) int {
+	if local := domainDevices(devDomains, dom); len(local) > 0 {
+		return local[seq%uint64(len(local))]
+	}
+	// No local device (more domains than devices): nearest domain that
+	// has devices.
+	return pickByDistance(t, dom, seq, devDomains, func(dist, best int) bool { return dist < best })
+}
+
+// WorstPlacement is the measurement adversary: devices bind exactly like
+// LocalPlacement, but every thread pins to the devices of the domain
+// *farthest* from its own. Placement-quality gates compare LocalPlacement
+// against it; it is not meant for production layouts.
+type WorstPlacement struct{}
+
+func (WorstPlacement) DeviceDomain(t *topo.Topology, dev, ndev int) int {
+	return dev % t.Domains()
+}
+
+func (WorstPlacement) ThreadDevice(t *topo.Topology, dom int, seq uint64, devDomains []int) int {
+	return pickByDistance(t, dom, seq, devDomains, func(dist, best int) bool { return dist > best })
+}

@@ -103,6 +103,12 @@ func (o *Options) device(rt *Runtime) *Device {
 	if o.Affinity != nil {
 		return o.Affinity.dev
 	}
+	if o.Worker != nil {
+		// The worker's slab domain stands in for the posting thread's
+		// domain: unpinned posts prefer same-domain devices before
+		// falling back to the global round-robin stripe.
+		return rt.stripeDeviceFrom(o.Worker.Domain())
+	}
 	return rt.stripeDevice()
 }
 
@@ -247,6 +253,7 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 				State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
 			}}
 		}
+		d.crossDelay(w)
 		err := d.net.PostSend(rank, opts.remoteDev(d), uint32(hdr.kind), pkt.Data[:headerSize+n], ctx)
 		// The fabric copies synchronously, so the packet recycles
 		// immediately whether the post succeeded or failed.
@@ -286,6 +293,7 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 					State: base.Done, Rank: rank, Tag: int(inner.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
 				}}
 			}
+			d.crossDelay(w)
 			e := d.net.PostSend(rank, opts.remoteDev(d), uint32(inner.kind), pkt.Data[:headerSize+n], ctx)
 			w.Put(pkt)
 			return e
@@ -312,6 +320,7 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 			return errNoPacket
 		}
 		hdr.encode(pkt.Data)
+		d.crossDelay(w)
 		err := d.net.PostSend(rank, opts.remoteDev(d), uint32(hdr.kind), pkt.Data[:headerSize], nil)
 		w.Put(pkt)
 		return err
@@ -414,7 +423,9 @@ func (rt *Runtime) postPut(rank int, buf []byte, tag int, comp base.Comp, opts O
 			State: base.Done, Rank: rank, Tag: tag, Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
 		}}
 	}
+	w := opts.worker(d)
 	attempt := func() error {
+		d.crossDelay(w)
 		return d.net.PostWrite(rank, opts.remoteDev(d), opts.Remote.RKey, opts.Remote.Offset, buf, imm, hasImm, ctx)
 	}
 	err := attempt()
@@ -446,7 +457,9 @@ func (rt *Runtime) postGet(rank int, buf []byte, comp base.Comp, opts Options) (
 			State: base.Done, Rank: rank, Buffer: into, Size: len(into), Ctx: opts.Ctx,
 		}}
 	}
+	w := opts.worker(d)
 	attempt := func() error {
+		d.crossDelay(w)
 		return d.net.PostRead(rank, opts.Remote.RKey, opts.Remote.Offset, into, ctx)
 	}
 	err := attempt()

@@ -12,6 +12,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/topo"
 )
 
 // Errors reported by posting operations. Temporary conditions are NOT
@@ -52,6 +53,19 @@ type Config struct {
 	// pin to a pool device with RegisterThread; unpinned posts stripe
 	// round-robin across the pool.
 	NumDevices int
+	// Topology models the host's NUMA layout (domains, core→domain map,
+	// inter-domain distances). When set to a multi-domain topology, the
+	// Placement policy binds each pool device's resources to a domain,
+	// RegisterThread resolves the calling thread's domain and pins it to
+	// a local device, and unpinned striping prefers same-domain devices.
+	// Nil (or a single-domain topology) keeps every locality mechanism
+	// inert: the pool behaves exactly like the locality-oblivious
+	// round-robin pool.
+	Topology *topo.Topology
+	// Placement is the resource-placement policy consulted when Topology
+	// has multiple domains (default LocalPlacement). WorstPlacement is
+	// the measurement adversary used by the NUMA placement gates.
+	Placement Placement
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NumDevices <= 0 {
 		c.NumDevices = 1
+	}
+	if c.Placement == nil {
+		c.Placement = LocalPlacement{}
 	}
 	if c.PacketSize < headerSize+c.InjectSize {
 		panic("core: PacketSize must be at least headerSize+InjectSize")
@@ -105,6 +122,14 @@ type Runtime struct {
 	// of affinity.
 	stripe atomic.Uint64
 	pins   atomic.Uint64
+
+	// Topology-aware state (allocated only for multi-domain topologies;
+	// every field stays nil/unused on the single-domain fast path so the
+	// locality-oblivious pool is reproduced byte for byte).
+	cores     atomic.Uint64      // virtual-core allocator for RegisterThread
+	domPins   []atomic.Uint64    // per-domain RegisterThread counters
+	domStripe []atomic.Uint64    // per-domain stripe counters
+	domDevs   []*mpmc.Array[int] // pool-device indices per domain
 }
 
 // NewRuntime builds a runtime for rank over the given backend and fabric.
@@ -124,6 +149,14 @@ func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Confi
 		rcomps:  mpmc.NewArray[base.Comp](8),
 		rank:    rank,
 		nranks:  netctx.NumRanks(),
+	}
+	if nd := cfg.Topology.Domains(); !cfg.Topology.Single() {
+		rt.domPins = make([]atomic.Uint64, nd)
+		rt.domStripe = make([]atomic.Uint64, nd)
+		rt.domDevs = make([]*mpmc.Array[int], nd)
+		for i := range rt.domDevs {
+			rt.domDevs[i] = mpmc.NewArray[int](2)
+		}
 	}
 	for i := 0; i < cfg.NumDevices; i++ {
 		if _, err := rt.NewDevice(); err != nil {
@@ -167,6 +200,24 @@ func (rt *Runtime) stripeDevice() *Device {
 	return rt.devs.Get(int(rt.stripe.Add(1) % uint64(n)))
 }
 
+// stripeDeviceFrom is stripeDevice for a caller whose NUMA domain is
+// known (from its packet worker): it stripes round-robin over the
+// caller's same-domain devices first, and falls back to the global
+// round-robin stripe when the domain has no devices, is unknown, or the
+// topology is single-domain.
+func (rt *Runtime) stripeDeviceFrom(dom int) *Device {
+	if dom < 0 || dom >= len(rt.domDevs) {
+		return rt.stripeDevice()
+	}
+	locals := rt.domDevs[dom]
+	n := locals.Len()
+	if n == 0 {
+		return rt.stripeDevice()
+	}
+	seq := rt.domStripe[dom].Add(1) - 1
+	return rt.devs.Get(locals.Get(int(seq % uint64(n))))
+}
+
 // ProgressAll makes one progress round on every pool device and returns
 // the total number of completions processed. With striping, traffic for
 // this rank can arrive at any pool endpoint, so a thread waiting on an
@@ -186,6 +237,7 @@ func (rt *Runtime) ProgressAll() int {
 type Affinity struct {
 	dev    *Device
 	worker *packet.Worker
+	domain int // the registering thread's NUMA domain (UnknownDomain unpinned)
 }
 
 // Device returns the pinned device.
@@ -194,22 +246,70 @@ func (a *Affinity) Device() *Device { return a.dev }
 // Worker returns the goroutine's packet-pool worker.
 func (a *Affinity) Worker() *packet.Worker { return a.worker }
 
+// Domain returns the thread's resolved NUMA domain, or topo.UnknownDomain
+// when the registration was topology-oblivious.
+func (a *Affinity) Domain() int { return a.domain }
+
 // Progress makes progress on the pinned device with the local worker.
 func (a *Affinity) Progress() int { return a.dev.ProgressW(a.worker) }
 
-// RegisterThread pins the calling goroutine to a pool device — assigned
-// round-robin over the pool, so successive registrations spread across all
-// devices — and registers a packet-pool worker for it. The handle is not
-// goroutine-safe; like a packet worker it belongs to one goroutine.
+// RegisterThread pins the calling goroutine to a pool device and registers
+// a packet-pool worker for it. With a multi-domain Config.Topology the
+// caller is assigned the next virtual core (registration order wraps over
+// the topology's cores) and the placement policy resolves its domain and
+// picks a local device; otherwise devices are assigned round-robin over
+// the pool, so successive registrations spread across all devices. The
+// handle is not goroutine-safe; like a packet worker it belongs to one
+// goroutine.
 func (rt *Runtime) RegisterThread() *Affinity {
-	n := rt.devs.Len()
-	idx := int((rt.pins.Add(1) - 1) % uint64(n))
-	return rt.RegisterThreadOn(idx)
+	t := rt.cfg.Topology
+	if t.Single() {
+		n := rt.devs.Len()
+		idx := int((rt.pins.Add(1) - 1) % uint64(n))
+		return rt.RegisterThreadOn(idx)
+	}
+	core := int((rt.cores.Add(1) - 1) % uint64(t.NumCores()))
+	return rt.RegisterThreadAt(core)
 }
 
-// RegisterThreadOn pins the calling goroutine to pool device idx.
+// RegisterThreadAt pins the calling goroutine as if it ran on topology
+// core `core`: the placement policy resolves the core's domain, picks a
+// pool device for it, and the thread's packet-worker slab binds to the
+// same domain (so the provider sims can charge cross-domain access).
+// A core outside the topology — or a single-domain topology — falls back
+// gracefully to the plain round-robin assignment of RegisterThread.
+func (rt *Runtime) RegisterThreadAt(core int) *Affinity {
+	t := rt.cfg.Topology
+	dom := t.DomainOf(core)
+	if t.Single() || dom == topo.UnknownDomain {
+		n := rt.devs.Len()
+		idx := int((rt.pins.Add(1) - 1) % uint64(n))
+		return rt.RegisterThreadOn(idx)
+	}
+	seq := rt.domPins[dom].Add(1) - 1
+	idx := rt.cfg.Placement.ThreadDevice(t, dom, seq, rt.deviceDomains())
+	if idx < 0 || idx >= rt.devs.Len() {
+		idx = int(seq % uint64(rt.devs.Len())) // defensive: policy bug, stay in the pool
+	}
+	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorkerIn(dom), domain: dom}
+}
+
+// RegisterThreadOn pins the calling goroutine to pool device idx,
+// bypassing topology resolution (the worker is domain-unbound, so no
+// cross-domain penalty is ever charged for it).
 func (rt *Runtime) RegisterThreadOn(idx int) *Affinity {
-	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorker()}
+	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorker(), domain: topo.UnknownDomain}
+}
+
+// deviceDomains snapshots each pool device's bound domain (placement
+// input; registration-path only).
+func (rt *Runtime) deviceDomains() []int {
+	n := rt.devs.Len()
+	doms := make([]int, n)
+	for i := range doms {
+		doms[i] = rt.devs.Get(i).domain
+	}
+	return doms
 }
 
 // DefaultMatchingEngine returns the runtime's default matching engine.

@@ -14,6 +14,14 @@ func NewJob(cfg Config, platform lci.Platform) (*Job, error) {
 	if cfg.Devices > 0 && cfg.Kind != LCI {
 		return nil, fmt.Errorf("lcw: the Devices pool knob is LCI-only (%v has no device pool)", cfg.Kind)
 	}
+	if (cfg.Topology != nil || cfg.Placement != nil) && cfg.Kind != LCI {
+		return nil, fmt.Errorf("lcw: the Topology/Placement knobs are LCI-only (%v has no placement policy)", cfg.Kind)
+	}
+	if cfg.Placement != nil && cfg.Topology == nil {
+		// A placement with no topology would be silently inert — fatal for
+		// the measurement gates built on the difference between policies.
+		return nil, fmt.Errorf("lcw: Placement requires a Topology (a placement without domains is never consulted)")
+	}
 	switch cfg.Kind {
 	case LCI:
 		return NewLCIJob(cfg, platform, core.Config{})

@@ -46,6 +46,12 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 	} else if coreCfg.NumDevices < devices {
 		return nil, fmt.Errorf("lcw: runtime pool of %d devices is smaller than the %d the layout needs", coreCfg.NumDevices, devices)
 	}
+	if coreCfg.Topology == nil {
+		coreCfg.Topology = cfg.Topology
+	}
+	if coreCfg.Placement == nil {
+		coreCfg.Placement = cfg.Placement
+	}
 	world := lci.NewWorld(cfg.Ranks, lci.WithPlatform(platform), lci.WithRuntimeConfig(coreCfg))
 	j := &Job{cfg: cfg, fab: world.Fabric()}
 	for r := 0; r < cfg.Ranks; r++ {
@@ -61,10 +67,24 @@ func NewLCIJob(cfg Config, platform lci.Platform, coreCfg core.Config) (*Job, er
 				amq:     comp.NewQueue(),
 				sendCnt: comp.NewCounter(),
 				recvCnt: comp.NewCounter(),
-				worker:  rt.RegisterWorker(),
 			}
 			th.rcomp = rt.RegisterRComp(th.amq)
-			th.dev = rt.Device(t % devices)
+			if coreCfg.Topology.Single() {
+				th.worker = rt.RegisterWorker()
+				th.dev = rt.Device(t % devices)
+			} else {
+				// Thread t runs on virtual core t (wrapping over the
+				// topology's cores, like RegisterThread, so jobs with more
+				// threads than cores oversubscribe instead of silently
+				// losing their domain): the placement policy resolves its
+				// domain and picks the device; its worker slab binds to
+				// the same domain. Every rank registers in thread order,
+				// so the layout is symmetric and device indices pair up
+				// across ranks as before.
+				aff := rt.RegisterThreadAt(t % coreCfg.Topology.NumCores())
+				th.worker = aff.Worker()
+				th.dev = aff.Device()
+			}
 			th.opts = core.Options{
 				Device: th.dev, Worker: th.worker,
 				RemoteDevice: th.dev.Index(), RemoteDeviceSet: true,

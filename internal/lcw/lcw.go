@@ -20,7 +20,9 @@ package lcw
 import (
 	"fmt"
 
+	"lci/internal/core"
 	"lci/internal/netsim/fabric"
+	"lci/internal/topo"
 )
 
 // Kind selects the wrapped communication library.
@@ -74,6 +76,17 @@ type Config struct {
 	// PreRecvs is the pre-posted receive depth per device/VCI/endpoint
 	// (default 128), applied identically to every backend.
 	PreRecvs int
+	// Topology attaches a host NUMA topology to the LCI backend's
+	// runtimes (LCI-only): pool devices bind to domains, thread t
+	// registers on virtual core t so its domain resolves from the
+	// topology's core map, and the provider sims charge the cross-domain
+	// penalty — which makes placement quality measurable. Nil keeps the
+	// topology-oblivious layout.
+	Topology *topo.Topology
+	// Placement selects the placement policy used with Topology (default
+	// core.LocalPlacement; core.WorstPlacement pins every thread to the
+	// farthest domain's devices, the locality gate's adversary).
+	Placement core.Placement
 }
 
 // sizing resolves the buffer knobs every backend shares: the AM payload

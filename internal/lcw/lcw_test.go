@@ -233,3 +233,43 @@ func TestLCIDevicesKnob(t *testing.T) {
 		t.Fatal("expected error: more devices than threads")
 	}
 }
+
+// TestLCITopologyKnob: with a synthetic topology attached, AM traffic
+// must stay correct under both the locality-aware and the worst-case
+// placement (the two layouts the NUMA gate compares), and the knob is
+// rejected for backends without a placement policy.
+func TestLCITopologyKnob(t *testing.T) {
+	tp := lci.TopoUniform(2, 2)
+	for _, tc := range []struct {
+		name  string
+		place lci.Placement
+	}{
+		{"local", lci.PlaceLocal},
+		{"worst", lci.PlaceWorst},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pingPongOnce(t, lcw.Config{
+				Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: 4, Devices: 4,
+				Topology: tp, Placement: tc.place,
+			}, lci.SimExpanse())
+		})
+	}
+	if _, err := lcw.NewJob(lcw.Config{Kind: lcw.MPI, Ranks: 2, ThreadsPerRank: 2, Topology: tp}, lci.SimExpanse()); err == nil {
+		t.Fatal("expected error: Topology knob is LCI-only")
+	}
+	if _, err := lcw.NewJob(lcw.Config{Kind: lcw.MPI, Ranks: 2, ThreadsPerRank: 2, Placement: lci.PlaceWorst}, lci.SimExpanse()); err == nil {
+		t.Fatal("expected error: Placement knob is LCI-only")
+	}
+	if _, err := lcw.NewJob(lcw.Config{Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: 2, Placement: lci.PlaceWorst}, lci.SimExpanse()); err == nil {
+		t.Fatal("expected error: Placement without Topology is silently inert")
+	}
+	// More threads than topology cores: virtual cores wrap (threads 4-7
+	// reuse cores 0-3) so every thread keeps a resolved domain and the
+	// job still carries correct traffic.
+	t.Run("threads-oversubscribe-cores", func(t *testing.T) {
+		pingPongOnce(t, lcw.Config{
+			Kind: lcw.LCI, Ranks: 2, ThreadsPerRank: 8, Devices: 4,
+			Topology: lci.TopoUniform(2, 2), Placement: lci.PlaceLocal,
+		}, lci.SimExpanse())
+	})
+}

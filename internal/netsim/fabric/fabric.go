@@ -37,6 +37,7 @@ import (
 
 	"lci/internal/mpmc"
 	"lci/internal/spin"
+	"lci/internal/topo"
 )
 
 // CompKind classifies simulated completion events.
@@ -84,6 +85,11 @@ type Config struct {
 	NumRanks int
 	// PendingCap bounds the per-endpoint RNR pending queue (default 1024).
 	PendingCap int
+	// Topo is the host topology every simulated node shares (NUMA domains,
+	// core→domain map, inter-domain distances). Endpoints bind to domains
+	// of it and the provider simulations consult it to charge cross-domain
+	// access penalties. Nil selects the inert single-domain topology.
+	Topo *topo.Topology
 }
 
 type recvSlot struct {
@@ -105,8 +111,9 @@ type memRegion struct {
 // one endpoint per LCI device. The hot queues are embedded by value and
 // padded so endpoints never false-share cachelines.
 type Endpoint struct {
-	rank int
-	idx  int
+	rank   int
+	idx    int
+	domain int // NUMA domain the endpoint's resources live in (BindDomain)
 
 	_       spin.Pad
 	rxMu    spin.Mutex
@@ -121,6 +128,7 @@ type Endpoint struct {
 	statRejects atomic.Int64
 	statMsgs    atomic.Int64
 	statBytes   atomic.Int64
+	statCross   atomic.Int64 // ops driven from a remote NUMA domain
 }
 
 // Rank returns the owning rank.
@@ -128,6 +136,21 @@ func (e *Endpoint) Rank() int { return e.rank }
 
 // Index returns the endpoint's index within its rank.
 func (e *Endpoint) Index() int { return e.idx }
+
+// BindDomain models the endpoint's backing resources (CQE ring, receive
+// slots, doorbell page) as allocated in NUMA domain dom. It must be
+// called before traffic flows (device construction time); endpoints start
+// unbound (topo.UnknownDomain), which disables every penalty.
+func (e *Endpoint) BindDomain(dom int) { e.domain = dom }
+
+// Domain reports the endpoint's bound NUMA domain (topo.UnknownDomain
+// when unbound).
+func (e *Endpoint) Domain() int { return e.domain }
+
+// NoteCrossOp counts one operation driven from a remote NUMA domain
+// (charged by the provider simulations; surfaced via Stats so placement
+// gates can assert the penalty actually fired).
+func (e *Endpoint) NoteCrossOp() { e.statCross.Add(1) }
 
 type rankState struct {
 	eps      *mpmc.Array[*Endpoint]
@@ -164,6 +187,15 @@ func New(cfg Config) *Fabric {
 // NumRanks returns the number of ranks.
 func (f *Fabric) NumRanks() int { return len(f.ranks) }
 
+// Topology returns the host topology the fabric's nodes share (never nil;
+// the inert single-domain topology when none was configured).
+func (f *Fabric) Topology() *topo.Topology {
+	if f.cfg.Topo == nil {
+		return topo.None()
+	}
+	return f.cfg.Topo
+}
+
 func (f *Fabric) rank(r int) *rankState {
 	if r < 0 || r >= len(f.ranks) {
 		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, len(f.ranks)))
@@ -174,7 +206,7 @@ func (f *Fabric) rank(r int) *rankState {
 // NewEndpoint creates and registers a new endpoint for rank.
 func (f *Fabric) NewEndpoint(rank int) *Endpoint {
 	rs := f.rank(rank)
-	e := &Endpoint{rank: rank}
+	e := &Endpoint{rank: rank, domain: topo.UnknownDomain}
 	e.slots.Init(64)
 	e.ready.Init(64)
 	e.pending.Init(16)
@@ -201,6 +233,7 @@ func (f *Fabric) RankStats(rank int) Stats {
 		agg.Bytes += s.Bytes
 		agg.RNR += s.RNR
 		agg.Rejects += s.Rejects
+		agg.CrossOps += s.CrossOps
 		agg.PostedRecvs += s.PostedRecvs
 		agg.Pending += s.Pending
 		agg.Ready += s.Ready
@@ -381,6 +414,7 @@ func (f *Fabric) Read(dst int, rkey, offset uint64, into []byte) error {
 // Stats is a snapshot of endpoint counters.
 type Stats struct {
 	Msgs, Bytes, RNR, Rejects   int64
+	CrossOps                    int64 // ops driven from a remote NUMA domain
 	PostedRecvs, Pending, Ready int
 }
 
@@ -392,6 +426,7 @@ func (e *Endpoint) Stats() Stats {
 	return Stats{
 		Msgs: e.statMsgs.Load(), Bytes: e.statBytes.Load(),
 		RNR: e.statRNR.Load(), Rejects: e.statRejects.Load(),
+		CrossOps:    e.statCross.Load(),
 		PostedRecvs: posted, Pending: pend, Ready: ready,
 	}
 }

@@ -81,6 +81,14 @@ type Config struct {
 	// core can inject, or device-count scaling would be invisible in
 	// the simulation.
 	InjectGapNs int
+	// CrossDomainNs is the per-operation cost of driving this device from
+	// a remote NUMA domain — uncached doorbell MMIO, CQE and WQE cache
+	// lines bouncing across the interconnect — per topology hop unit
+	// (topo.Topology.Hops; a typical two-socket remote pair is 2 units).
+	// It is charged only on devices bound to a domain (BindDomain) by
+	// callers whose own domain is known, so topology-oblivious setups pay
+	// nothing. Zero disables the model.
+	CrossDomainNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +191,32 @@ func (d *Device) tdIndex(dst int) int {
 	default:
 		return dst
 	}
+}
+
+// BindDomain models the device's backing resources (QPs, CQ, SRQ,
+// doorbell pages) as allocated in NUMA domain dom of the fabric's host
+// topology. Call it at device-construction time, before traffic flows.
+func (d *Device) BindDomain(dom int) { d.ep.BindDomain(dom) }
+
+// Domain reports the device's bound NUMA domain (topo.UnknownDomain when
+// unbound).
+func (d *Device) Domain() int { return d.ep.Domain() }
+
+// CrossDelay charges the modeled cost of one operation driven from NUMA
+// domain `from`: CrossDomainNs per topology hop unit between the caller's
+// domain and the device's bound domain. Local, unbound or unknown-domain
+// callers pay nothing, so this is free until a placement binds domains.
+func (d *Device) CrossDelay(from int) {
+	ns := d.ctx.cfg.CrossDomainNs
+	if ns <= 0 || from < 0 {
+		return
+	}
+	h := d.ctx.fab.Topology().Hops(from, d.ep.Domain())
+	if h == 0 {
+		return
+	}
+	d.ep.NoteCrossOp()
+	spin.Delay(h * ns)
 }
 
 // NumSendLocks reports the number of distinct doorbell locks; the LCI

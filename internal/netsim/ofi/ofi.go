@@ -38,6 +38,13 @@ type Config struct {
 	// to ibv.Config.InjectGapNs); early posts see ErrTxFull backpressure.
 	// Zero disables pacing. See fabric.Pacer for the model.
 	InjectGapNs int
+	// CrossDomainNs is the per-operation cost of driving this endpoint
+	// from a remote NUMA domain (command-queue MMIO and event-queue cache
+	// lines crossing the socket interconnect), per topology hop unit —
+	// the cxi analogue of ibv.Config.CrossDomainNs. Charged only on
+	// endpoints bound to a domain by callers whose domain is known; zero
+	// disables the model.
+	CrossDomainNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +119,32 @@ type Endpoint struct {
 
 // Index returns the endpoint's fabric index within its rank.
 func (e *Endpoint) Index() int { return e.ep.Index() }
+
+// BindDomain models the endpoint's backing resources (command queue,
+// event queue, buffers) as allocated in NUMA domain dom of the fabric's
+// host topology. Call it at construction time, before traffic flows.
+func (e *Endpoint) BindDomain(dom int) { e.ep.BindDomain(dom) }
+
+// Domain reports the endpoint's bound NUMA domain (topo.UnknownDomain
+// when unbound).
+func (e *Endpoint) Domain() int { return e.ep.Domain() }
+
+// CrossDelay charges the modeled cost of one operation driven from NUMA
+// domain `from`: CrossDomainNs per topology hop unit between the caller's
+// domain and the endpoint's bound domain. Local, unbound or
+// unknown-domain callers pay nothing.
+func (e *Endpoint) CrossDelay(from int) {
+	ns := e.dom.cfg.CrossDomainNs
+	if ns <= 0 || from < 0 {
+		return
+	}
+	h := e.dom.fab.Topology().Hops(from, e.ep.Domain())
+	if h == 0 {
+		return
+	}
+	e.ep.NoteCrossOp()
+	spin.Delay(h * ns)
+}
 
 // FabricEndpoint exposes the underlying fabric endpoint (diagnostics).
 func (e *Endpoint) FabricEndpoint() *fabric.Endpoint { return e.ep }

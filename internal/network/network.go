@@ -61,9 +61,21 @@ type Device interface {
 	// DeregisterMem removes a registration.
 	DeregisterMem(rkey uint64) error
 	// Stats snapshots the device's fabric-endpoint counters (messages,
-	// bytes, RNR events, posted receives). Multi-device runs read these
-	// to verify traffic really strips across endpoints.
+	// bytes, RNR events, cross-domain ops, posted receives). Multi-device
+	// runs read these to verify traffic really strips across endpoints.
 	Stats() fabric.Stats
+	// BindDomain models the device's backing resources as allocated in
+	// NUMA domain dom of the fabric's host topology. The placement policy
+	// calls it once at device-construction time; devices left unbound
+	// never charge cross-domain penalties.
+	BindDomain(dom int)
+	// Domain reports the bound NUMA domain (topo.UnknownDomain unbound).
+	Domain() int
+	// CrossDelay charges the provider's modeled cost of driving this
+	// device from NUMA domain `from` (no-op when local, unbound, or the
+	// caller's domain is unknown). The runtime calls it once per posting
+	// attempt and once per owned (try-lock-winning) CQ poll round.
+	CrossDelay(from int)
 	// Close releases the device.
 	Close() error
 }
@@ -202,6 +214,10 @@ func (d *ibvDevice) DeregisterMem(rkey uint64) error {
 
 func (d *ibvDevice) Stats() fabric.Stats { return d.dev.Endpoint().Stats() }
 
+func (d *ibvDevice) BindDomain(dom int)  { d.dev.BindDomain(dom) }
+func (d *ibvDevice) Domain() int         { return d.dev.Domain() }
+func (d *ibvDevice) CrossDelay(from int) { d.dev.CrossDelay(from) }
+
 func (d *ibvDevice) Close() error {
 	d.dev.Close()
 	return nil
@@ -310,5 +326,9 @@ func (d *ofiDevice) DeregisterMem(rkey uint64) error {
 }
 
 func (d *ofiDevice) Stats() fabric.Stats { return d.ep.FabricEndpoint().Stats() }
+
+func (d *ofiDevice) BindDomain(dom int)  { d.ep.BindDomain(dom) }
+func (d *ofiDevice) Domain() int         { return d.ep.Domain() }
+func (d *ofiDevice) CrossDelay(from int) { d.ep.CrossDelay(from) }
 
 func (d *ofiDevice) Close() error { return nil }

@@ -19,6 +19,7 @@ import (
 
 	"lci/internal/mpmc"
 	"lci/internal/spin"
+	"lci/internal/topo"
 )
 
 // Packet is a fixed-size pre-registered buffer. Data has the pool's full
@@ -59,9 +60,10 @@ type shard struct {
 
 // Worker is a per-goroutine (or per-device) handle into the pool.
 type Worker struct {
-	pool  *Pool
-	shard *shard
-	idx   int
+	pool   *Pool
+	shard  *shard
+	idx    int
+	domain int // NUMA domain the shard's slab memory is modeled as bound to
 }
 
 // DefaultPacketSize is the packet buffer size (eager-protocol ceiling).
@@ -90,8 +92,18 @@ func NewPool(packetSize, packetsPerWorker int) *Pool {
 func (p *Pool) PacketSize() int { return p.packetSize }
 
 // RegisterWorker creates a new per-worker deque pre-filled with this
-// worker's packet quota and returns its handle.
+// worker's packet quota and returns its handle. The worker's slab is
+// domain-unbound (topo.UnknownDomain): it never participates in
+// cross-domain cost accounting.
 func (p *Pool) RegisterWorker() *Worker {
+	return p.RegisterWorkerIn(topo.UnknownDomain)
+}
+
+// RegisterWorkerIn is RegisterWorker with the worker's packet slab
+// modeled as allocated in NUMA domain dom (first-touch by a thread
+// running there). Posting paths compare this domain against the posting
+// device's bound domain to charge the simulated cross-domain penalty.
+func (p *Pool) RegisterWorkerIn(dom int) *Worker {
 	s := &shard{}
 	s.dq.Init(p.packetsPerShard)
 	backing := make([]byte, p.packetsPerShard*p.packetSize)
@@ -104,8 +116,14 @@ func (p *Pool) RegisterWorker() *Worker {
 	idx := p.shards.Append(s)
 	s.seed = uint64(idx)*0x9e3779b97f4a7c15 + 0x1234567
 	p.allocated.Add(int64(p.packetsPerShard))
-	return &Worker{pool: p, shard: s, idx: idx}
+	return &Worker{pool: p, shard: s, idx: idx, domain: dom}
 }
+
+// Domain reports the NUMA domain the worker's slab is modeled as bound
+// to (topo.UnknownDomain when unbound). It doubles as the owning
+// goroutine's domain: a worker is registered by — and its slab
+// first-touched from — the thread that uses it.
+func (w *Worker) Domain() int { return w.domain }
 
 // Get pops a packet from the worker's own deque tail; on local exhaustion
 // it attempts to steal half of a random victim's packets from the head.

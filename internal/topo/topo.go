@@ -1,0 +1,172 @@
+// Package topo models the host topology the paper's resource model
+// assumes (§4.2.2, §5): NUMA domains, a core→domain map, and inter-domain
+// distances. Replicated LCI devices only scale when their backing
+// resources — CQs, packet slabs, pre-posted buffers, doorbell pages — are
+// local to the threads driving them, so every resource-owning layer binds
+// to a domain of one of these topologies and the provider simulations
+// charge a cross-domain access penalty when a thread drives a
+// remote-domain endpoint or touches remote-domain packets (DESIGN.md §3).
+//
+// The real machines are not available here, so topologies are synthetic:
+// SimDelta and SimExpanse mirror the NUMA layout of the paper's two
+// evaluation platforms, and Uniform builds arbitrary domain counts for
+// tests. A single-domain topology switches every locality mechanism off —
+// by construction it reproduces the locality-oblivious round-robin
+// behavior exactly.
+package topo
+
+import "fmt"
+
+// UnknownDomain marks an unresolved domain: a thread whose core is not in
+// the topology, or a resource that was never bound. Locality machinery
+// treats it as "no information" and falls back to locality-oblivious
+// behavior; it never charges a penalty.
+const UnknownDomain = -1
+
+// LocalDistance is the numactl-style distance of a domain to itself.
+const LocalDistance = 10
+
+// Topology is an immutable host topology: a set of NUMA domains, the
+// core→domain map, and the inter-domain distance matrix (numactl
+// convention: 10 is local, 21 a typical one-hop remote access).
+type Topology struct {
+	coreDom []int
+	dist    [][]int
+}
+
+// New builds a topology from an explicit core→domain map and distance
+// matrix. dist must be square with one row per domain; dist[i][i] is
+// forced to LocalDistance.
+func New(coreDom []int, dist [][]int) (*Topology, error) {
+	nd := len(dist)
+	if nd == 0 {
+		return nil, fmt.Errorf("topo: need at least one domain")
+	}
+	if nd > 1 && len(coreDom) == 0 {
+		// A multi-domain topology with no cores would defeat every
+		// DomainOf resolution (and the virtual-core modulo in
+		// RegisterThread); single-domain topologies stay inert anyway.
+		return nil, fmt.Errorf("topo: a multi-domain topology needs at least one core")
+	}
+	for i, row := range dist {
+		if len(row) != nd {
+			return nil, fmt.Errorf("topo: distance row %d has %d entries, want %d", i, len(row), nd)
+		}
+	}
+	for c, d := range coreDom {
+		if d < 0 || d >= nd {
+			return nil, fmt.Errorf("topo: core %d maps to domain %d, outside [0,%d)", c, d, nd)
+		}
+	}
+	t := &Topology{coreDom: append([]int(nil), coreDom...), dist: make([][]int, nd)}
+	for i := range dist {
+		t.dist[i] = append([]int(nil), dist[i]...)
+		t.dist[i][i] = LocalDistance
+	}
+	return t, nil
+}
+
+// Uniform builds a topology of `domains` NUMA domains with
+// coresPerDomain cores each, cores assigned blockwise (cores
+// [d*coresPerDomain, (d+1)*coresPerDomain) belong to domain d) and every
+// remote pair at distance 21, the common two-socket numactl figure.
+func Uniform(domains, coresPerDomain int) *Topology {
+	if domains < 1 {
+		domains = 1
+	}
+	if coresPerDomain < 1 {
+		coresPerDomain = 1
+	}
+	coreDom := make([]int, domains*coresPerDomain)
+	for c := range coreDom {
+		coreDom[c] = c / coresPerDomain
+	}
+	dist := make([][]int, domains)
+	for i := range dist {
+		dist[i] = make([]int, domains)
+		for j := range dist[i] {
+			if i == j {
+				dist[i][j] = LocalDistance
+			} else {
+				dist[i][j] = 21
+			}
+		}
+	}
+	t, err := New(coreDom, dist)
+	if err != nil {
+		panic("topo: Uniform built an invalid topology: " + err.Error())
+	}
+	return t
+}
+
+// SingleDomain builds a one-domain topology with the given core count —
+// the layout every locality mechanism degrades to no-ops on.
+func SingleDomain(cores int) *Topology { return Uniform(1, cores) }
+
+// single is the shared fallback for "no topology attached".
+var single = SingleDomain(1)
+
+// None returns the canonical single-domain topology used when no
+// topology was configured: all distances local, every penalty zero.
+func None() *Topology { return single }
+
+// SimDelta models an NCSA Delta CPU node: 2 NUMA domains (one AMD Milan
+// socket each) of 64 cores.
+func SimDelta() *Topology { return Uniform(2, 64) }
+
+// SimExpanse models an SDSC Expanse node: AMD Rome in NPS-4, 4 NUMA
+// domains of 32 cores.
+func SimExpanse() *Topology { return Uniform(4, 32) }
+
+// Domains returns the number of NUMA domains.
+func (t *Topology) Domains() int {
+	if t == nil {
+		return 1
+	}
+	return len(t.dist)
+}
+
+// Single reports whether the topology has one domain (or is nil): the
+// degenerate case in which locality machinery must be inert.
+func (t *Topology) Single() bool { return t.Domains() <= 1 }
+
+// NumCores returns the number of cores in the topology.
+func (t *Topology) NumCores() int {
+	if t == nil {
+		return 1
+	}
+	return len(t.coreDom)
+}
+
+// DomainOf returns the NUMA domain of a core, or UnknownDomain when the
+// core is outside the topology (callers fall back to locality-oblivious
+// behavior rather than fail).
+func (t *Topology) DomainOf(core int) int {
+	if t == nil || core < 0 || core >= len(t.coreDom) {
+		return UnknownDomain
+	}
+	return t.coreDom[core]
+}
+
+// Distance returns the numactl-style distance between two domains
+// (LocalDistance for a==b). Unknown domains are treated as local: no
+// information must never charge a penalty.
+func (t *Topology) Distance(a, b int) int {
+	if t == nil || a == b || a < 0 || b < 0 || a >= len(t.dist) || b >= len(t.dist) {
+		return LocalDistance
+	}
+	return t.dist[a][b]
+}
+
+// Hops converts the distance between two domains into penalty units: 0
+// for a local (or unknown) pair, and otherwise the distance excess over
+// local in units of LocalDistance, rounded up — 21 (one QPI/xGMI hop) is
+// 2 units, matching how remote access costs roughly scale on real parts.
+// Provider simulations multiply their per-op cross-domain cost by this.
+func (t *Topology) Hops(a, b int) int {
+	d := t.Distance(a, b)
+	if d <= LocalDistance {
+		return 0
+	}
+	return (d - LocalDistance + LocalDistance - 1) / LocalDistance
+}

@@ -1,0 +1,101 @@
+package topo
+
+import "testing"
+
+func TestUniformLayout(t *testing.T) {
+	tp := Uniform(2, 4)
+	if tp.Domains() != 2 || tp.NumCores() != 8 || tp.Single() {
+		t.Fatalf("Uniform(2,4): domains=%d cores=%d single=%v", tp.Domains(), tp.NumCores(), tp.Single())
+	}
+	for c := 0; c < 8; c++ {
+		want := c / 4
+		if got := tp.DomainOf(c); got != want {
+			t.Errorf("DomainOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if d := tp.DomainOf(8); d != UnknownDomain {
+		t.Errorf("DomainOf(out of range) = %d, want UnknownDomain", d)
+	}
+	if d := tp.DomainOf(-1); d != UnknownDomain {
+		t.Errorf("DomainOf(-1) = %d, want UnknownDomain", d)
+	}
+}
+
+func TestDistanceAndHops(t *testing.T) {
+	tp := Uniform(2, 2)
+	if d := tp.Distance(0, 0); d != LocalDistance {
+		t.Errorf("local distance = %d", d)
+	}
+	if d := tp.Distance(0, 1); d != 21 {
+		t.Errorf("remote distance = %d, want 21", d)
+	}
+	if h := tp.Hops(0, 0); h != 0 {
+		t.Errorf("local hops = %d, want 0", h)
+	}
+	if h := tp.Hops(0, 1); h != 2 {
+		t.Errorf("remote hops = %d, want 2 (distance 21)", h)
+	}
+	// Unknown domains never charge.
+	if h := tp.Hops(UnknownDomain, 1); h != 0 {
+		t.Errorf("unknown-domain hops = %d, want 0", h)
+	}
+	if h := tp.Hops(0, 5); h != 0 {
+		t.Errorf("out-of-range hops = %d, want 0", h)
+	}
+}
+
+func TestSingleDomainInert(t *testing.T) {
+	tp := SingleDomain(4)
+	if !tp.Single() {
+		t.Fatal("SingleDomain not Single")
+	}
+	if h := tp.Hops(0, 0); h != 0 {
+		t.Errorf("single-domain hops = %d", h)
+	}
+	var nilTopo *Topology
+	if !nilTopo.Single() || nilTopo.Domains() != 1 || nilTopo.DomainOf(0) != UnknownDomain {
+		t.Error("nil topology must behave as an inert single domain")
+	}
+}
+
+func TestCustomDistanceMatrix(t *testing.T) {
+	// 3 domains in a line: 0 -10- 1 -10- 2, distances 10/21/31.
+	tp, err := New([]int{0, 1, 2}, [][]int{
+		{10, 21, 31},
+		{21, 10, 21},
+		{31, 21, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tp.Distance(0, 2); d != 31 {
+		t.Errorf("distance(0,2) = %d, want 31", d)
+	}
+	if h := tp.Hops(0, 2); h != 3 {
+		t.Errorf("hops(0,2) = %d, want 3 (distance 31)", h)
+	}
+	if h := tp.Hops(1, 2); h != 2 {
+		t.Errorf("hops(1,2) = %d, want 2 (distance 21)", h)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty distance matrix must fail")
+	}
+	if _, err := New(nil, [][]int{{10, 21}, {21, 10}}); err == nil {
+		t.Error("multi-domain topology with no cores must fail")
+	}
+	if _, err := New(nil, [][]int{{10}}); err != nil {
+		t.Errorf("single-domain topology with no cores is inert and fine, got %v", err)
+	}
+	if _, err := New([]int{0, 2}, [][]int{{10, 21}, {21, 10}}); err == nil {
+		t.Error("core mapped to nonexistent domain must fail")
+	}
+	if _, err := New([]int{0}, [][]int{{10, 21}, {21, 10}, {31, 21}}); err == nil {
+		t.Error("non-square distance matrix must fail")
+	}
+	if SimDelta().Domains() != 2 || SimExpanse().Domains() != 4 {
+		t.Error("synthetic platform topologies have the wrong domain counts")
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/topo"
 )
 
 // Re-exported vocabulary types. See package base for details.
@@ -99,6 +100,34 @@ type (
 	Worker = packet.Worker
 	// RemoteBuffer names registered remote memory for RMA.
 	RemoteBuffer = core.RemoteBuffer
+	// Topology is a host NUMA topology (domains, core→domain map,
+	// inter-domain distances); see WithTopology.
+	Topology = topo.Topology
+	// Placement is the resource-placement policy consulted for
+	// multi-domain topologies; see WithPlacement.
+	Placement = core.Placement
+)
+
+// Placement policies.
+var (
+	// PlaceLocal is the default placement: devices spread over domains,
+	// threads pin to same-domain devices.
+	PlaceLocal Placement = core.LocalPlacement{}
+	// PlaceWorst is the measurement adversary: threads pin to the
+	// farthest domain's devices (placement-quality gates compare
+	// PlaceLocal against it).
+	PlaceWorst Placement = core.WorstPlacement{}
+)
+
+// Synthetic topologies (DESIGN.md §3).
+var (
+	// TopoUniform builds `domains` NUMA domains of coresPerDomain cores
+	// each with uniform remote distances.
+	TopoUniform = topo.Uniform
+	// TopoSimDelta is the 2-domain NCSA Delta node layout.
+	TopoSimDelta = topo.SimDelta
+	// TopoSimExpanse is the 4-domain SDSC Expanse node layout.
+	TopoSimExpanse = topo.SimExpanse
 )
 
 // Status states and retry reasons.
@@ -152,6 +181,12 @@ type World struct {
 	coreCfg  core.Config
 	platform Platform
 	n        int
+
+	// topoOverride/placeOverride hold WithTopology/WithPlacement choices
+	// and are overlaid onto coreCfg after all options ran, so option
+	// order (e.g. WithRuntimeConfig last) cannot silently discard them.
+	topoOverride  *Topology
+	placeOverride Placement
 }
 
 // NewWorld creates an n-rank world. Options select the simulated platform
@@ -161,10 +196,20 @@ func NewWorld(n int, opts ...WorldOption) *World {
 	for _, o := range opts {
 		o(w)
 	}
+	if w.topoOverride != nil {
+		w.coreCfg.Topology = w.topoOverride
+	}
+	if w.placeOverride != nil {
+		w.coreCfg.Placement = w.placeOverride
+	}
 	if w.backend == nil {
 		w.backend = w.platform.Backend()
 	}
-	w.fab = fabric.New(fabric.Config{NumRanks: n, PendingCap: w.platform.PendingCap})
+	w.fab = fabric.New(fabric.Config{
+		NumRanks:   n,
+		PendingCap: w.platform.PendingCap,
+		Topo:       w.coreCfg.Topology,
+	})
 	return w
 }
 
@@ -179,6 +224,24 @@ func WithPlatform(p Platform) WorldOption {
 // WithRuntimeConfig overrides the per-rank runtime configuration.
 func WithRuntimeConfig(cfg core.Config) WorldOption {
 	return func(w *World) { w.coreCfg = cfg }
+}
+
+// WithTopology attaches a host NUMA topology to every rank of the world:
+// the placement policy binds each pool device (and its packet-worker
+// slab) to a domain, RegisterThread resolves the calling thread's domain
+// and pins it to a local device, unpinned striping prefers same-domain
+// devices, and the provider simulations charge the cross-domain access
+// penalty, making placement quality measurable. A nil or single-domain
+// topology keeps all of this inert. The choice survives option order:
+// a later WithRuntimeConfig does not discard it.
+func WithTopology(t *Topology) WorldOption {
+	return func(w *World) { w.topoOverride = t }
+}
+
+// WithPlacement overrides the placement policy used with WithTopology
+// (default PlaceLocal). Like WithTopology it survives option order.
+func WithPlacement(p Placement) WorldOption {
+	return func(w *World) { w.placeOverride = p }
 }
 
 // NumRanks returns the world size.
@@ -279,8 +342,15 @@ func (rt *Runtime) Device(i int) *Device { return rt.core.Device(i) }
 // round-robin across the pool instead.
 func (rt *Runtime) RegisterThread() *Affinity { return rt.core.RegisterThread() }
 
-// RegisterThreadOn pins the calling goroutine to pool device idx.
+// RegisterThreadOn pins the calling goroutine to pool device idx
+// (topology-oblivious; the worker stays domain-unbound).
 func (rt *Runtime) RegisterThreadOn(idx int) *Affinity { return rt.core.RegisterThreadOn(idx) }
+
+// RegisterThreadAt pins the calling goroutine as if it ran on topology
+// core `core`: the placement policy resolves the core's domain and picks
+// a local pool device (WithTopology). Cores outside the topology fall
+// back to the plain round-robin assignment.
+func (rt *Runtime) RegisterThreadAt(core int) *Affinity { return rt.core.RegisterThreadAt(core) }
 
 // NewMatchingEngine allocates a matching engine (0 buckets = default
 // size). All ranks must allocate engines in the same order.

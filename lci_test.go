@@ -516,6 +516,64 @@ func TestBarrierManyRanks(t *testing.T) {
 	})
 }
 
+// TestTopologyOptionOrder: WithTopology/WithPlacement must survive a
+// later WithRuntimeConfig (which replaces the whole core config) instead
+// of being silently discarded — a world that claims a topology must
+// actually bind its devices to domains.
+func TestTopologyOptionOrder(t *testing.T) {
+	w := lci.NewWorld(1,
+		lci.WithTopology(lci.TopoUniform(2, 2)),
+		lci.WithPlacement(lci.PlaceWorst),
+		lci.WithRuntimeConfig(core.Config{NumDevices: 2, PacketsPerWorker: 8, PreRecvs: 4}))
+	defer w.Close()
+	rt, err := w.NewRuntime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for i := 0; i < 2; i++ {
+		if dom := rt.Device(i).Domain(); dom != i {
+			t.Errorf("device %d bound to domain %d, want %d (topology lost to option order?)", i, dom, i)
+		}
+	}
+	// And the placement override survived too: a thread on a domain-0
+	// core must land on the far domain's device under PlaceWorst.
+	if a := rt.RegisterThreadAt(0); a.Device().Index() != 1 {
+		t.Errorf("worst placement pinned core 0 to device %d, want 1", a.Device().Index())
+	}
+}
+
+// TestBarrierEpochRecycling: the barrier's tag space is bounded — epochs
+// recycle modulo a fixed window instead of growing forever. Running many
+// times more barriers than the window (with the release-order check of
+// TestBarrierManyRanks on every round) proves recycled epochs never
+// mismatch messages across rounds.
+func TestBarrierEpochRecycling(t *testing.T) {
+	const ranks = 2
+	const rounds = 2*64 + 5 // cross the epoch window twice (window 64)
+	w := lci.NewWorld(ranks)
+	defer w.Close()
+	var entered [ranks]atomic.Int64
+	err := w.Launch(func(rt *lci.Runtime) error {
+		for round := 1; round <= rounds; round++ {
+			entered[rt.Rank()].Store(int64(round))
+			if err := rt.Barrier(); err != nil {
+				return err
+			}
+			for r := 0; r < ranks; r++ {
+				if got := entered[r].Load(); got < int64(round) {
+					return fmt.Errorf("rank %d saw rank %d at round %d during round %d",
+						rt.Rank(), r, got, round)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestBarrierMultiDeviceConcurrentProgress: barriers over a multi-device
 // pool while a background goroutine per rank hammers the whole pool's
 // progress engines. Barrier posts stripe across the devices, so arrivals

@@ -4,6 +4,7 @@ import (
 	"lci/internal/netsim/ibv"
 	"lci/internal/netsim/ofi"
 	"lci/internal/network"
+	"lci/internal/topo"
 )
 
 // Platform describes a simulated evaluation platform (Table 2 of the
@@ -23,7 +24,16 @@ type Platform struct {
 	OFI ofi.Config
 	// PendingCap bounds per-endpoint RNR buffering on the fabric.
 	PendingCap int
+	// NodeTopo is the platform's synthetic host topology (NUMA domains,
+	// cores, distances; DESIGN.md §3). It is *available*, not applied:
+	// worlds stay single-domain unless lci.WithTopology (or
+	// core.Config.Topology) opts in, so topology-oblivious runs keep
+	// their exact locality-free behavior.
+	NodeTopo *topo.Topology
 }
+
+// Topology returns the platform's synthetic node topology (see NodeTopo).
+func (p Platform) Topology() *topo.Topology { return p.NodeTopo }
 
 // Backend builds the network backend for this platform.
 func (p Platform) Backend() network.Backend {
@@ -47,9 +57,11 @@ func SimExpanse() Platform {
 			SendOverheadNs: 150,
 			RecvOverheadNs: 100,
 			InjectGapNs:    8000,
+			CrossDomainNs:  1200,
 			Strategy:       ibv.TDPerQP,
 		},
 		PendingCap: 1024,
+		NodeTopo:   topo.SimExpanse(),
 	}
 }
 
@@ -69,8 +81,10 @@ func SimDelta() Platform {
 			RegCacheNs:     60,
 			RegisterNs:     400,
 			InjectGapNs:    7000,
+			CrossDomainNs:  1000,
 		},
 		PendingCap: 1024,
+		NodeTopo:   topo.SimDelta(),
 	}
 }
 
