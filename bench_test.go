@@ -152,6 +152,32 @@ func BenchmarkMessageRateLocality(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectiveLatency: graph-driven collective latency (barrier,
+// 8-byte and 64-KiB allreduce) across rank counts on both platforms (the
+// standing TestCollShape gate runs the 8-rank point plus the placement
+// comparison and writes BENCH_coll.json).
+func BenchmarkCollectiveLatency(b *testing.B) {
+	for _, plat := range benchPlatforms() {
+		for _, ranks := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", plat.Name, ranks), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := bench.CollectiveLatency(plat, ranks, 500)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range res {
+						name := r.Collective
+						if r.Size > 0 {
+							name = fmt.Sprintf("%s-%dB", r.Collective, r.Size)
+						}
+						b.ReportMetric(r.Seconds/float64(r.Ops)*1e6, name+"-us")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFig5BandwidthThread: thread-based bandwidth over message sizes
 // (§6.2.2, Figure 5). The paper fixes 64 threads; the bench uses 8 to fit
 // CI machines — cmd/lci-bench sweeps the full range.

@@ -9,6 +9,7 @@
 //
 //	lci-bench -fig 4                # one figure
 //	lci-bench -fig all -iters 5000  # everything, slower
+//	lci-bench -mode coll            # graph-driven collective latency + placement
 //	lci-bench -table1 -platforms
 package main
 
@@ -20,10 +21,12 @@ import (
 	"lci"
 	"lci/internal/bench"
 	"lci/internal/lcw"
+	"lci/internal/topo"
 )
 
 var (
 	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
+	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement)")
 	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
@@ -106,6 +109,36 @@ func fig5() {
 	}
 }
 
+func coll() {
+	fmt.Println("== Collectives: graph-driven latency (barrier / allreduce) ==")
+	iters := *itersFlag
+	for _, plat := range lci.Platforms() {
+		for ranks := 2; ranks <= *maxPairs; ranks *= 2 {
+			res, err := bench.CollectiveLatency(plat, ranks, iters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			for _, r := range res {
+				fmt.Println(r)
+			}
+		}
+	}
+	fmt.Println("== Collectives: placement-aware vs worst-placement barrier ==")
+	const ranks, devices = 8, 2
+	tp := topo.Uniform(2, 4)
+	for _, plat := range lci.Platforms() {
+		for _, worst := range []bool{false, true} {
+			r, err := bench.CollectiveLocality(plat, tp, ranks, devices, iters, worst)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Println(r)
+		}
+	}
+}
+
 func printTable1() {
 	fmt.Println("== Table 1: post_comm paradigm matrix ==")
 	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
@@ -141,6 +174,14 @@ func main() {
 	if *platforms {
 		printPlatforms()
 	}
+	switch *modeFlag {
+	case "coll":
+		coll()
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
 	switch *figFlag {
 	case "3":
 		fig3()
@@ -153,7 +194,7 @@ func main() {
 		fig4()
 		fig5()
 	case "":
-		if !*table1 && !*platforms {
+		if !*table1 && !*platforms && *modeFlag == "" {
 			flag.Usage()
 			os.Exit(2)
 		}

@@ -1,93 +1,140 @@
 package lci
 
 import (
-	"fmt"
-
-	"lci/internal/comp"
+	"lci/internal/coll"
 )
 
-// This file provides small collectives built from LCI point-to-point
-// primitives. LCI itself is a point-to-point library; the paper builds
-// collectives (and recommends building nonblocking ones with completion
-// graphs, §4.2.6). Barrier here is the dissemination algorithm used by the
-// examples, benchmarks and applications.
+// This file surfaces the collectives subsystem (internal/coll). LCI
+// itself is a point-to-point library; the paper builds collectives out of
+// point-to-point primitives and recommends composing nonblocking ones
+// with completion graphs (§4.2.6), which is exactly how internal/coll
+// expresses them: nodes are PostSend/PostRecv posts and local combine
+// closures, edges are the algorithm's partial order. Every collective
+// has a blocking form and a nonblocking handle (IBarrier/IBcast/...).
+//
+// Collectives are collective calls: every rank must issue them in the
+// same order, and a rank must not issue collectives concurrently from
+// several threads (serialize externally; call order, not thread
+// identity, matches operations across ranks). Placement threads through
+// end to end: pass WithAffinity (or WithDevice/WithWorker) and every
+// round's posts and progress ride that same-domain device.
 
-// barrierTag is the reserved tag space for Barrier. Barriers match on the
-// runtime's dedicated internal engine, so they never collide with user
-// traffic.
-const barrierTag = 1 << 20
+// Coll is a nonblocking collective handle: Start posts the graph's
+// roots, Test drains deferred posts and reports completion, Wait blocks
+// while progressing the collective's resources. Test reporting true
+// means the collective finished, not that it succeeded — a Test-polling
+// loop must check Err once Test returns true (Wait returns it).
+type Coll = coll.Handle
 
-// barrierEpochWindow bounds the barrier's tag space: epochs recycle
-// modulo this window, so tags stay within
-// [barrierTag, barrierTag+barrierEpochWindow*64) forever instead of
-// growing without bound. The dissemination barrier fully synchronizes:
-// when any rank finishes epoch e, every rank has at least entered e, so
-// unmatched messages can only belong to epochs e and e+1 — any window
-// of two or more epochs keeps recycled tags collision-free. 64 leaves a
-// wide safety margin at no cost.
-const barrierEpochWindow = 64
+// CollKind names a collective's kind (Coll.Kind).
+type CollKind = coll.Kind
+
+// Collective kinds.
+const (
+	KindBarrier   = coll.KindBarrier
+	KindBcast     = coll.KindBcast
+	KindReduce    = coll.KindReduce
+	KindAllreduce = coll.KindAllreduce
+	KindAllgather = coll.KindAllgather
+)
+
+// Datatype names the element type of a built-in reduction (little-endian
+// element arrays).
+type Datatype = coll.Datatype
+
+// ReduceOp is a reduction operator for Reduce/Allreduce. Operators must
+// be associative and commutative.
+type ReduceOp = coll.Op
+
+// Reduction element types.
+const (
+	Int64   = coll.Int64
+	Float64 = coll.Float64
+)
+
+// Built-in reduction operators.
+var (
+	OpSum = coll.Sum
+	OpMin = coll.Min
+	OpMax = coll.Max
+)
+
+// OpFunc wraps f as a reduction operator: f folds src into dst
+// (dst = dst ⊕ src) over the raw message bytes; it must be associative
+// and commutative.
+func OpFunc(f func(dst, src []byte)) ReduceOp { return coll.UserFunc(f) }
+
+// Collective algorithm names for WithCollAlgorithm. The default (no
+// option) selects by message size and rank count.
+const (
+	// CollDissemination is the barrier's dissemination algorithm.
+	CollDissemination = coll.AlgDissemination
+	// CollFlat is the flat (star) algorithm: broadcast, reduce,
+	// allgather.
+	CollFlat = coll.AlgFlat
+	// CollBinomial is the binomial tree: broadcast, reduce.
+	CollBinomial = coll.AlgBinomial
+	// CollRDouble is recursive doubling: allreduce (power-of-two ranks).
+	CollRDouble = coll.AlgRDouble
+	// CollReduceBcast is binomial reduce + binomial broadcast: allreduce.
+	CollReduceBcast = coll.AlgReduceBcast
+	// CollRing is the ring algorithm: allgather.
+	CollRing = coll.AlgRing
+)
 
 // Barrier blocks until every rank has entered the barrier, progressing
-// the chosen device while waiting (options: WithDevice, WithWorker).
-// Every rank must call Barrier the same number of times.
+// the chosen resources while waiting (options: WithDevice, WithAffinity,
+// WithWorker). Every rank must call Barrier the same number of times.
 func (rt *Runtime) Barrier(opts ...Option) error {
-	n := rt.NumRanks()
-	if n == 1 {
-		return nil
-	}
-	if rt.barrierME == nil {
-		return fmt.Errorf("lci: barrier engine not initialized")
-	}
-	me := rt.barrierME
-	epoch := rt.barrierEpoch
-	rt.barrierEpoch = (rt.barrierEpoch + 1) % barrierEpochWindow
-	base := barrierTag + epoch*64
-
-	var payload [1]byte
-	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
-		sendTo := (rt.Rank() + dist) % n
-		recvFrom := (rt.Rank() - dist + n) % n
-		tag := base + k
-
-		rcnt := comp.NewCounter()
-		sendOpts := append(append([]Option(nil), opts...), WithMatchingEngine(me))
-		var rbuf [1]byte
-		// Post the receive first, then push the send until accepted.
-		rst, err := rt.PostRecv(recvFrom, rbuf[:], tag, rcnt, sendOpts...)
-		if err != nil {
-			return err
-		}
-		for {
-			st, err := rt.PostSend(sendTo, payload[:], tag, comp.NewCounter(), sendOpts...)
-			if err != nil {
-				return err
-			}
-			if !st.IsRetry() {
-				break
-			}
-			rt.progressOpts(opts)
-		}
-		// A Done receive (peer's message had already arrived) will never
-		// signal the counter; only wait when the receive was parked.
-		for rst.IsPosted() && rcnt.Load() < 1 {
-			rt.progressOpts(opts)
-		}
-	}
-	return nil
+	return rt.coll.Barrier(buildOpts(opts))
 }
 
-// progressOpts progresses the device selected by opts; with no explicit
-// device or affinity it progresses the whole pool, since unpinned barrier
-// posts stripe across every device.
-func (rt *Runtime) progressOpts(opts []Option) {
-	o := buildOpts(opts)
-	if o.Device != nil {
-		o.Device.Progress()
-		return
-	}
-	if o.Affinity != nil {
-		o.Affinity.Progress()
-		return
-	}
-	rt.core.ProgressAll()
+// Broadcast sends buf from root to every rank (in place: the root's buf
+// is the payload, every other rank's buf receives it).
+func (rt *Runtime) Broadcast(buf []byte, root int, opts ...Option) error {
+	return rt.coll.Broadcast(buf, root, buildOpts(opts))
+}
+
+// Reduce combines every rank's send buffer with op into recv at root.
+// recv must be len(send) bytes on the root; other ranks may pass nil.
+func (rt *Runtime) Reduce(send, recv []byte, dt Datatype, op ReduceOp, root int, opts ...Option) error {
+	return rt.coll.Reduce(send, recv, dt, op, root, buildOpts(opts))
+}
+
+// Allreduce combines every rank's send buffer with op into every rank's
+// recv buffer (len(recv) == len(send)).
+func (rt *Runtime) Allreduce(send, recv []byte, dt Datatype, op ReduceOp, opts ...Option) error {
+	return rt.coll.Allreduce(send, recv, dt, op, buildOpts(opts))
+}
+
+// Allgather concatenates every rank's send block into recv on every
+// rank: rank i's block lands at recv[i*len(send):(i+1)*len(send)], so
+// len(recv) must be NumRanks()*len(send).
+func (rt *Runtime) Allgather(send, recv []byte, opts ...Option) error {
+	return rt.coll.Allgather(send, recv, buildOpts(opts))
+}
+
+// IBarrier returns a nonblocking barrier handle.
+func (rt *Runtime) IBarrier(opts ...Option) (*Coll, error) {
+	return rt.coll.IBarrier(buildOpts(opts))
+}
+
+// IBcast returns a nonblocking broadcast handle.
+func (rt *Runtime) IBcast(buf []byte, root int, opts ...Option) (*Coll, error) {
+	return rt.coll.IBcast(buf, root, buildOpts(opts))
+}
+
+// IReduce returns a nonblocking reduce handle.
+func (rt *Runtime) IReduce(send, recv []byte, dt Datatype, op ReduceOp, root int, opts ...Option) (*Coll, error) {
+	return rt.coll.IReduce(send, recv, dt, op, root, buildOpts(opts))
+}
+
+// IAllreduce returns a nonblocking allreduce handle.
+func (rt *Runtime) IAllreduce(send, recv []byte, dt Datatype, op ReduceOp, opts ...Option) (*Coll, error) {
+	return rt.coll.IAllreduce(send, recv, dt, op, buildOpts(opts))
+}
+
+// IAllgather returns a nonblocking allgather handle.
+func (rt *Runtime) IAllgather(send, recv []byte, opts ...Option) (*Coll, error) {
+	return rt.coll.IAllgather(send, recv, buildOpts(opts))
 }

@@ -1,9 +1,14 @@
-// graphcollective builds a nonblocking allreduce from completion graphs
-// (§4.2.6): each recursive-doubling round is a small DAG — a send node
-// and a receive node joined by a fold node — whose edges encode the
-// algorithm's partial order. Starting the graph launches the round; the
-// application polls Test while free to do other work, the CUDA-Graph-
-// style usage the paper describes for complex nonblocking collectives.
+// graphcollective demonstrates the graph-driven collectives subsystem
+// (§4.2.6): every collective is a completion graph of point-to-point
+// posts — send/receive nodes plus local combine closures, with edges
+// encoding the algorithm's partial order — so each has a nonblocking
+// handle (Start/Test/Wait) the application progresses like any LCI
+// operation, the CUDA-Graph-style usage the paper describes.
+//
+// The program overlaps an IAllreduce with point-to-point traffic (the
+// classic AMT pattern: a global sum in flight while neighbor exchanges
+// proceed), then runs a broadcast with an explicitly selected algorithm
+// and a ring allgather.
 package main
 
 import (
@@ -15,56 +20,9 @@ import (
 	"lci"
 )
 
-// allreduceSum computes the global sum of value with recursive doubling;
-// every round's communication runs under a completion graph.
-func allreduceSum(rt *lci.Runtime, value float64) (float64, error) {
-	sum := value
-	n := rt.NumRanks()
-	for k := 0; 1<<k < n; k++ {
-		peer := rt.Rank() ^ (1 << k)
-		tag := 100 + k
-		sendBuf := make([]byte, 8)
-		recvBuf := make([]byte, 8)
-		binary.LittleEndian.PutUint64(sendBuf, math.Float64bits(sum))
-
-		g := lci.NewGraph()
-		send := g.AddOp(func(c lci.Comp) lci.Status {
-			st, err := rt.PostSend(peer, sendBuf, tag, c)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return st
-		})
-		recv := g.AddOp(func(c lci.Comp) lci.Status {
-			st, err := rt.PostRecv(peer, recvBuf, tag, c)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return st
-		})
-		folded := false
-		fold := g.AddFunc(func() {
-			sum += math.Float64frombits(binary.LittleEndian.Uint64(recvBuf))
-			folded = true
-		})
-		g.AddEdge(send, fold)
-		g.AddEdge(recv, fold)
-		g.Start()
-
-		// Nonblocking completion: the application overlaps its own work
-		// with the collective, progressing the runtime in between.
-		for !g.Test() {
-			rt.Progress()
-		}
-		if !folded {
-			return 0, fmt.Errorf("graph completed without folding")
-		}
-	}
-	return sum, nil
-}
+const ranks = 4
 
 func main() {
-	const ranks = 4 // power of two for recursive doubling
 	world := lci.NewWorld(ranks)
 	defer world.Close()
 
@@ -72,15 +30,79 @@ func main() {
 		if err := rt.Barrier(); err != nil {
 			return err
 		}
-		value := float64((rt.Rank() + 1) * 10) // 10+20+30+40 = 100
-		sum, err := allreduceSum(rt, value)
+
+		// --- Nonblocking allreduce overlapped with p2p traffic ---
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		binary.LittleEndian.PutUint64(send, math.Float64bits(float64((rt.Rank()+1)*10)))
+		h, err := rt.IAllreduce(send, recv, lci.Float64, lci.OpSum)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("rank %d: allreduce sum = %v\n", rt.Rank(), sum)
-		if sum != 100 {
+		if err := h.Start(); err != nil {
+			return err
+		}
+
+		// While the collective's graph is in flight, exchange a neighbor
+		// message — polling the handle drains its deferred posts.
+		peer := (rt.Rank() + 1) % ranks
+		left := (rt.Rank() - 1 + ranks) % ranks
+		const tag = 42
+		in := make([]byte, 8)
+		cnt := lci.NewCounter()
+		rst, err := rt.PostRecv(left, in, tag, cnt)
+		if err != nil {
+			return err
+		}
+		out := []byte("neighbor")
+		for {
+			st, err := rt.PostSend(peer, out, tag, nil)
+			if err != nil {
+				return err
+			}
+			if !st.IsRetry() {
+				break
+			}
+			rt.Progress()
+		}
+		// A Done receive (message already arrived) never signals the
+		// counter; only a Posted one needs the wait. Test==true means
+		// finished, not succeeded — Wait (below) surfaces any error.
+		for rst.IsPosted() && cnt.Load() < 1 {
+			h.Test()
+			rt.Progress()
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		sum := math.Float64frombits(binary.LittleEndian.Uint64(recv))
+		fmt.Printf("rank %d: allreduce sum = %v (p2p %q overlapped)\n", rt.Rank(), sum, in)
+		if sum != 10+20+30+40 {
 			return fmt.Errorf("rank %d: sum %v != 100", rt.Rank(), sum)
 		}
+
+		// --- Broadcast with an explicit algorithm choice ---
+		msg := make([]byte, 16)
+		if rt.Rank() == 2 {
+			copy(msg, "from rank two!!")
+		}
+		if err := rt.Broadcast(msg, 2, lci.WithCollAlgorithm(lci.CollBinomial)); err != nil {
+			return err
+		}
+
+		// --- Ring allgather: every rank's contribution, everywhere ---
+		block := make([]byte, 8)
+		binary.LittleEndian.PutUint64(block, uint64(rt.Rank()*rt.Rank()))
+		all := make([]byte, ranks*8)
+		if err := rt.Allgather(block, all, lci.WithCollAlgorithm(lci.CollRing)); err != nil {
+			return err
+		}
+		for r := 0; r < ranks; r++ {
+			if got := binary.LittleEndian.Uint64(all[r*8:]); got != uint64(r*r) {
+				return fmt.Errorf("rank %d: allgather block %d = %d", rt.Rank(), r, got)
+			}
+		}
+		fmt.Printf("rank %d: bcast %q, allgather ok\n", rt.Rank(), msg[:15])
 		return rt.Barrier()
 	})
 	if err != nil {

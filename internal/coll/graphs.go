@@ -1,0 +1,354 @@
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lci/internal/base"
+	"lci/internal/comp"
+	"lci/internal/core"
+)
+
+// Algorithm names accepted by the selection layer (core.Options.
+// CollAlgorithm, public lci.WithCollAlgorithm). An empty name picks by
+// message size and rank count.
+const (
+	// AlgDissemination is the barrier's dissemination algorithm.
+	AlgDissemination = "dissemination"
+	// AlgFlat is the flat (star) algorithm: the root exchanges directly
+	// with every rank. Broadcast, reduce and allgather; small rank counts
+	// and small messages.
+	AlgFlat = "flat"
+	// AlgBinomial is the binomial tree. Broadcast and reduce.
+	AlgBinomial = "binomial"
+	// AlgRDouble is recursive doubling. Allreduce; power-of-two rank
+	// counts and small messages.
+	AlgRDouble = "rdouble"
+	// AlgReduceBcast stitches a binomial reduce to rank 0 with a binomial
+	// broadcast. Allreduce; any rank count.
+	AlgReduceBcast = "redbcast"
+	// AlgRing is the ring algorithm. Allgather.
+	AlgRing = "ring"
+)
+
+// Selection cutoffs: flat algorithms win while the root's fan-out is
+// trivial; recursive doubling wins while whole-message exchanges stay
+// eager-sized.
+const (
+	flatRankCutoff    = 4
+	flatSizeCutoff    = 4096
+	rdoubleSizeCutoff = 8192
+)
+
+// pickTree is the shared flat-vs-binomial selection used by broadcast
+// and reduce (what names the collective in errors).
+func pickTree(what, forced string, n, size int) (string, error) {
+	switch forced {
+	case "":
+		if n <= flatRankCutoff && size <= flatSizeCutoff {
+			return AlgFlat, nil
+		}
+		return AlgBinomial, nil
+	case AlgFlat, AlgBinomial:
+		return forced, nil
+	default:
+		return "", fmt.Errorf("%w: %s algorithm %q (want %q or %q)", core.ErrInvalidArgument, what, forced, AlgFlat, AlgBinomial)
+	}
+}
+
+func pickBcast(forced string, n, size int) (string, error) {
+	return pickTree("broadcast", forced, n, size)
+}
+
+func pickReduce(forced string, n, size int) (string, error) {
+	return pickTree("reduce", forced, n, size)
+}
+
+func pickAllreduce(forced string, n, size int) (string, error) {
+	pow2 := n&(n-1) == 0
+	switch forced {
+	case "":
+		if pow2 && size <= rdoubleSizeCutoff {
+			return AlgRDouble, nil
+		}
+		return AlgReduceBcast, nil
+	case AlgRDouble:
+		if !pow2 {
+			return "", fmt.Errorf("%w: recursive doubling needs a power-of-two rank count, got %d", core.ErrInvalidArgument, n)
+		}
+		return forced, nil
+	case AlgReduceBcast:
+		return forced, nil
+	default:
+		return "", fmt.Errorf("%w: allreduce algorithm %q (want %q or %q)", core.ErrInvalidArgument, forced, AlgRDouble, AlgReduceBcast)
+	}
+}
+
+func pickAllgather(forced string, n, size int) (string, error) {
+	// The ring needs n-1 distinct round tags; flat uses a single round
+	// (matching keys on source rank), so it works at any rank count.
+	ringOK := n-1 <= maxRounds
+	switch forced {
+	case "":
+		if (n <= flatRankCutoff && size <= flatSizeCutoff) || !ringOK {
+			return AlgFlat, nil
+		}
+		return AlgRing, nil
+	case AlgFlat:
+		return forced, nil
+	case AlgRing:
+		if !ringOK {
+			return "", fmt.Errorf("%w: ring allgather supports at most %d ranks (tag-window rounds)", core.ErrInvalidArgument, maxRounds+1)
+		}
+		return forced, nil
+	default:
+		return "", fmt.Errorf("%w: allgather algorithm %q (want %q or %q)", core.ErrInvalidArgument, forced, AlgFlat, AlgRing)
+	}
+}
+
+// pickBarrier exists for symmetry: dissemination is the only algorithm.
+func pickBarrier(forced string) (string, error) {
+	switch forced {
+	case "", AlgDissemination:
+		return AlgDissemination, nil
+	default:
+		return "", fmt.Errorf("%w: barrier algorithm %q (want %q)", core.ErrInvalidArgument, forced, AlgDissemination)
+	}
+}
+
+// builder assembles one collective call's graph: node helpers wrap
+// point-to-point posts in op nodes that record errors on the handle, and
+// deps wire the algorithm's partial order.
+type builder struct {
+	h     *Handle
+	epoch int           // windowed epoch for this collective's own tags
+	entry []comp.NodeID // resync-barrier tails every entry node depends on
+}
+
+func (b *builder) tag(round int) int { return tagFor(b.h.kind, b.epoch, round) }
+
+// send adds an op node posting a send of buf to `to`.
+func (b *builder) send(to, tag int, buf []byte, deps []comp.NodeID) comp.NodeID {
+	h := b.h
+	id := h.g.AddOp(func(cm base.Comp) base.Status {
+		st, err := h.c.rt.PostSend(to, buf, tag, cm, h.o)
+		if err != nil {
+			h.fail(err)
+			return base.Status{State: base.Done}
+		}
+		return st
+	})
+	b.edges(id, deps)
+	return id
+}
+
+// recv adds an op node posting a receive of buf from `from`.
+func (b *builder) recv(from, tag int, buf []byte, deps []comp.NodeID) comp.NodeID {
+	h := b.h
+	id := h.g.AddOp(func(cm base.Comp) base.Status {
+		st, err := h.c.rt.PostRecv(from, buf, tag, cm, h.o)
+		if err != nil {
+			h.fail(err)
+			return base.Status{State: base.Done}
+		}
+		return st
+	})
+	b.edges(id, deps)
+	return id
+}
+
+// fn adds a local function node (combine closures, block copies).
+func (b *builder) fn(f func(), deps []comp.NodeID) comp.NodeID {
+	id := b.h.g.AddFunc(f)
+	b.edges(id, deps)
+	return id
+}
+
+// edges wires deps → id, falling back to the builder's entry deps (the
+// resync barrier's tails) for nodes with no algorithmic predecessor.
+func (b *builder) edges(id comp.NodeID, deps []comp.NodeID) {
+	if deps == nil {
+		deps = b.entry
+	}
+	for _, d := range deps {
+		b.h.g.AddEdge(d, id)
+	}
+}
+
+// barrierRounds adds the dissemination-barrier rounds under the given
+// barrier epoch: round k's send and receive depend on round k-1 (you may
+// not announce round k before hearing round k-1). Returns the final
+// round's nodes so callers can hang a collective off barrier completion.
+func (b *builder) barrierRounds(epoch int, deps []comp.NodeID) []comp.NodeID {
+	rt := b.h.c.rt
+	n, me := rt.NumRanks(), rt.Rank()
+	if n == 1 {
+		return deps
+	}
+	rounds := bits.Len(uint(n - 1))
+	bufs := make([]byte, 2*rounds)
+	prev := deps
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		tag := tagFor(KindBarrier, epoch, k)
+		s := b.send((me+dist)%n, tag, bufs[2*k:2*k+1], prev)
+		r := b.recv((me-dist+n)%n, tag, bufs[2*k+1:2*k+2], prev)
+		prev = []comp.NodeID{s, r}
+	}
+	return prev
+}
+
+// bcast adds a broadcast of buf from root. roundBase offsets the tags so
+// the stitched allreduce can reuse the builder within one epoch.
+func (b *builder) bcast(buf []byte, root int, alg string, roundBase int, deps []comp.NodeID) {
+	rt := b.h.c.rt
+	n, me := rt.NumRanks(), rt.Rank()
+	if n == 1 {
+		return
+	}
+	if alg == AlgFlat {
+		if me == root {
+			for r := 0; r < n; r++ {
+				if r != root {
+					b.send(r, b.tag(roundBase), buf, deps)
+				}
+			}
+		} else {
+			b.recv(root, b.tag(roundBase), buf, deps)
+		}
+		return
+	}
+	// Binomial tree over virtual ranks rooted at 0: a rank receives from
+	// its parent at its lowest set bit's round, then feeds its subtrees
+	// in decreasing-mask order (all sends depend only on the receive).
+	vr := (me - root + n) % n
+	sendDeps := deps
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % n
+			r := b.recv(src, b.tag(roundBase+bits.TrailingZeros(uint(mask))), buf, deps)
+			sendDeps = []comp.NodeID{r}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < n {
+			dst := (vr + mask + root) % n
+			b.send(dst, b.tag(roundBase+bits.TrailingZeros(uint(mask))), buf, sendDeps)
+		}
+	}
+}
+
+// reduce adds a reduction of send into acc at root and returns its tail
+// nodes (the root's last combine, a leaf's send to its parent) so the
+// stitched allreduce can chain its broadcast behind them.
+func (b *builder) reduce(send, acc []byte, cmb func(dst, src []byte), root int, alg string, roundBase int, deps []comp.NodeID) []comp.NodeID {
+	rt := b.h.c.rt
+	n, me := rt.NumRanks(), rt.Rank()
+	cp := b.fn(func() { copy(acc, send) }, deps)
+	prev := []comp.NodeID{cp}
+	if n == 1 {
+		return prev
+	}
+	if alg == AlgFlat {
+		if me != root {
+			// The local contribution ships straight from send; acc (the
+			// caller's scratch) only matters for the stitched broadcast,
+			// which must not start before both the copy and the send.
+			s := b.send(root, b.tag(roundBase), send, deps)
+			return []comp.NodeID{cp, s}
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			tmp := make([]byte, len(send))
+			rn := b.recv(r, b.tag(roundBase), tmp, deps)
+			prev = []comp.NodeID{b.fn(func() { cmb(acc, tmp) }, []comp.NodeID{prev[0], rn})}
+		}
+		return prev
+	}
+	// Binomial gather over virtual ranks rooted at 0: while our bit at
+	// mask is clear we fold in the subtree at vr|mask; the first set bit
+	// sends the accumulator to the parent and retires. Receives post
+	// immediately (tags disambiguate rounds); combines serialize on acc.
+	vr := (me - root + n) % n
+	round := 0
+	for mask := 1; mask < n; mask, round = mask<<1, round+1 {
+		if vr&mask == 0 {
+			src := vr | mask
+			if src >= n {
+				continue
+			}
+			tmp := make([]byte, len(send))
+			rn := b.recv((src+root)%n, b.tag(roundBase+round), tmp, deps)
+			prev = []comp.NodeID{b.fn(func() { cmb(acc, tmp) }, []comp.NodeID{prev[0], rn})}
+		} else {
+			dst := (vr - mask + root) % n
+			prev = []comp.NodeID{b.send(dst, b.tag(roundBase+round), acc, prev)}
+			break
+		}
+	}
+	return prev
+}
+
+// allreduce adds an all-reduce of send into acc.
+func (b *builder) allreduce(send, acc []byte, cmb func(dst, src []byte), alg string, deps []comp.NodeID) {
+	rt := b.h.c.rt
+	n, me := rt.NumRanks(), rt.Rank()
+	if alg == AlgReduceBcast {
+		tails := b.reduce(send, acc, cmb, 0, AlgBinomial, 0, deps)
+		b.bcast(acc, 0, AlgBinomial, bcastRoundBase, tails)
+		return
+	}
+	// Recursive doubling (power-of-two n): round k exchanges the running
+	// accumulator with peer me^2^k and folds. The send must wait for the
+	// previous fold (it ships acc); the receive posts immediately into
+	// its own round buffer; the fold waits for both — the send, too,
+	// because a rendezvous send reads acc after posting.
+	cp := b.fn(func() { copy(acc, send) }, deps)
+	prev := []comp.NodeID{cp}
+	for k := 0; 1<<k < n; k++ {
+		peer := me ^ (1 << k)
+		tmp := make([]byte, len(send))
+		s := b.send(peer, b.tag(k), acc, prev)
+		r := b.recv(peer, b.tag(k), tmp, deps)
+		prev = []comp.NodeID{b.fn(func() { cmb(acc, tmp) }, []comp.NodeID{s, r})}
+	}
+}
+
+// allgather adds an all-gather of send into recv (n blocks of len(send)).
+func (b *builder) allgather(send, recv []byte, alg string, deps []comp.NodeID) {
+	rt := b.h.c.rt
+	n, me := rt.NumRanks(), rt.Rank()
+	bs := len(send)
+	blk := func(i int) []byte { return recv[i*bs : (i+1)*bs] }
+	cp := b.fn(func() { copy(blk(me), send) }, deps)
+	if n == 1 {
+		return
+	}
+	if alg == AlgFlat {
+		for r := 0; r < n; r++ {
+			if r == me {
+				continue
+			}
+			b.send(r, b.tag(0), send, deps)
+			b.recv(r, b.tag(0), blk(r), deps)
+		}
+		return
+	}
+	// Ring: round k forwards the block received in round k-1 to the right
+	// neighbor while receiving the next one from the left. Receives post
+	// immediately (per-round tags); send k needs round k-1's data.
+	right, left := (me+1)%n, (me-1+n)%n
+	var lastS, lastR comp.NodeID
+	for k := 0; k < n-1; k++ {
+		sdeps := []comp.NodeID{cp}
+		if k > 0 {
+			sdeps = []comp.NodeID{lastS, lastR}
+		}
+		lastS = b.send(right, b.tag(k), blk((me-k+n)%n), sdeps)
+		lastR = b.recv(left, b.tag(k), blk((me-k-1+n)%n), deps)
+	}
+}

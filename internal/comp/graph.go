@@ -23,7 +23,17 @@ type Graph struct {
 	nodes   []*graphNode
 	started atomic.Bool
 	pending atomic.Int64 // nodes not yet complete
-	retries *mpmc.Queue[*graphNode]
+	// ready holds op nodes awaiting (re-)posting: nodes whose operations
+	// returned Retry, and — in deferred mode — nodes whose dependencies
+	// were satisfied by a Signal from another thread.
+	ready *mpmc.Queue[*graphNode]
+	// deferOps, when set before Start, queues ready op nodes instead of
+	// posting them from whichever thread performed the final dependency
+	// decrement. All posts then happen from Start/Test/Drain — i.e. from
+	// the graph owner's polling thread — so op closures may safely use
+	// single-goroutine resources (packet workers, affinity handles) even
+	// while foreign progress threads signal completions.
+	deferOps bool
 }
 
 // NodeID names a node within its graph.
@@ -46,7 +56,18 @@ func (n *graphNode) Signal(base.Status) { n.g.complete(n) }
 
 // NewGraph returns an empty completion graph.
 func NewGraph() *Graph {
-	return &Graph{retries: mpmc.NewQueue[*graphNode](64)}
+	return &Graph{ready: mpmc.NewQueue[*graphNode](64)}
+}
+
+// SetDeferOps switches the graph to deferred op firing: op nodes whose
+// dependencies are satisfied are queued and posted by the next Start,
+// Test or Drain call instead of being posted inline by the signaling
+// thread. Function nodes still run inline. Must be called before Start.
+func (g *Graph) SetDeferOps() {
+	if g.started.Load() {
+		panic("comp: SetDeferOps after Start")
+	}
+	g.deferOps = true
 }
 
 // AddFunc adds a node that completes when f returns. f may be nil (an
@@ -91,20 +112,65 @@ func (g *Graph) AddEdge(u, v NodeID) {
 }
 
 // Start fires all root nodes (nodes with no predecessors). It may be
-// called once.
+// called once. Start validates the graph first: a dependency cycle (or a
+// node only reachable through one) would leave the graph permanently
+// incomplete, so it panics instead — a build-time programming mistake,
+// like mutating the graph after Start.
 func (g *Graph) Start() {
 	if g.started.Swap(true) {
 		panic("comp: Graph started twice")
 	}
+	g.validate()
 	for _, n := range g.nodes {
 		if n.initDeps == 0 {
 			g.fire(n)
 		}
 	}
+	if g.deferOps {
+		g.Drain()
+	}
 }
 
+// validate runs Kahn's algorithm over the declared edges: every node must
+// be reachable from a root through acyclic dependencies.
+func (g *Graph) validate() {
+	indeg := make([]int32, len(g.nodes))
+	queue := make([]NodeID, 0, len(g.nodes))
+	for i, n := range g.nodes {
+		indeg[i] = n.initDeps
+		if n.initDeps == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, v := range g.nodes[u].children {
+			if indeg[v]--; indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if seen != len(g.nodes) {
+		panic("comp: Graph has unreachable nodes (dependency cycle)")
+	}
+}
+
+// fire runs a node whose dependencies are satisfied. In deferred mode op
+// nodes are queued for the owner's next Start/Test/Drain instead of being
+// posted from the signaling thread.
 func (g *Graph) fire(n *graphNode) {
-	if n.fn != nil || (n.fn == nil && n.op == nil) {
+	if n.op != nil && g.deferOps {
+		g.ready.Enqueue(n)
+		return
+	}
+	g.post(n)
+}
+
+func (g *Graph) post(n *graphNode) {
+	if n.op == nil { // function node, or an empty join node
 		if n.fn != nil {
 			n.fn()
 		}
@@ -116,7 +182,7 @@ func (g *Graph) fire(n *graphNode) {
 	case st.IsDone():
 		g.complete(n)
 	case st.IsRetry():
-		g.retries.Enqueue(n)
+		g.ready.Enqueue(n)
 	default:
 		// posted: completion arrives via Signal
 	}
@@ -135,15 +201,23 @@ func (g *Graph) complete(n *graphNode) {
 	}
 }
 
-// Drain re-fires nodes whose operations previously returned Retry. Call it
-// from the application's progress loop.
+// Drain posts queued op nodes: operations that previously returned Retry
+// and, in deferred mode, ops whose dependencies were satisfied since the
+// last call. Call it from the application's progress loop; it is safe to
+// call at any time, including after the graph has completed.
+//
+// One call makes at most one pass over the nodes queued at entry: an op
+// that returns Retry again is re-queued for the NEXT call instead of
+// being re-posted in a tight loop — a Retry typically clears only after
+// the caller's progress loop runs (recycled packets, drained transmit
+// queues), which can't happen while Drain spins.
 func (g *Graph) Drain() {
-	for {
-		n, ok := g.retries.Dequeue()
+	for i := g.ready.Len(); i > 0; i-- {
+		n, ok := g.ready.Dequeue()
 		if !ok {
 			return
 		}
-		g.fire(n)
+		g.post(n)
 	}
 }
 

@@ -1,0 +1,161 @@
+package comp_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lci/internal/base"
+	"lci/internal/comp"
+)
+
+// TestGraphRetryRearmAndDrainReuse: an op that keeps returning Retry is
+// re-armed and re-fired by successive Drain/Test calls — the ready queue
+// is reused round after round — and Drain/Test stay safe (and idempotent)
+// after the graph completes.
+func TestGraphRetryRearmAndDrainReuse(t *testing.T) {
+	g := comp.NewGraph()
+	attempts := 0
+	g.AddOp(func(c base.Comp) base.Status {
+		attempts++
+		if attempts <= 100 { // long enough to cycle the ready queue's ring
+			return base.Status{State: base.Retry}
+		}
+		return base.Status{State: base.Done}
+	})
+	g.Start()
+	rounds := 0
+	for !g.Test() {
+		rounds++
+		if rounds > 1000 {
+			t.Fatal("retrying op never completed")
+		}
+	}
+	if attempts != 101 {
+		t.Fatalf("op fired %d times, want 101", attempts)
+	}
+	// Reuse after completion: Drain and Test are no-ops, not panics.
+	for i := 0; i < 3; i++ {
+		g.Drain()
+		if !g.Test() {
+			t.Fatal("completed graph regressed to incomplete")
+		}
+	}
+}
+
+// TestGraphConcurrentSignal: many posted ops signaled from several
+// goroutines while another hammers Test — the dependency counters and the
+// ready queue must stay race-clean (run under -race).
+func TestGraphConcurrentSignal(t *testing.T) {
+	const ops = 64
+	g := comp.NewGraph()
+	comps := make(chan base.Comp, ops)
+	var fired atomic.Int64
+	for i := 0; i < ops; i++ {
+		id := g.AddOp(func(c base.Comp) base.Status {
+			comps <- c
+			return base.Status{State: base.Posted}
+		})
+		// Every op feeds a shared join so child firing also races.
+		child := g.AddFunc(func() { fired.Add(1) })
+		g.AddEdge(id, child)
+	}
+	g.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range comps {
+				c.Signal(base.Status{State: base.Done})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !g.Test() {
+		}
+	}()
+	<-done
+	close(comps)
+	wg.Wait()
+	if fired.Load() != ops {
+		t.Fatalf("fired %d children, want %d", fired.Load(), ops)
+	}
+}
+
+// TestGraphCycleGuard: Start must refuse a graph with a dependency cycle
+// instead of hanging forever.
+func TestGraphCycleGuard(t *testing.T) {
+	g := comp.NewGraph()
+	a := g.AddFunc(nil)
+	b := g.AddFunc(nil)
+	c := g.AddFunc(nil)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, b) // cycle b -> c -> b
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start accepted a cyclic graph")
+		}
+	}()
+	g.Start()
+}
+
+// TestGraphUnreachableGuard: a node dangling off a cyclic region is
+// unreachable from any root and must be rejected too.
+func TestGraphUnreachableGuard(t *testing.T) {
+	g := comp.NewGraph()
+	root := g.AddFunc(nil)
+	x := g.AddFunc(nil)
+	y := g.AddFunc(nil)
+	tail := g.AddFunc(nil)
+	g.AddEdge(root, tail) // healthy chain
+	g.AddEdge(x, y)
+	g.AddEdge(y, x) // two-node cycle, disconnected from the root
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start accepted an unreachable node")
+		}
+	}()
+	g.Start()
+}
+
+// TestGraphDeferOps: with SetDeferOps, an op whose dependency is
+// satisfied by a foreign Signal is not posted by the signaling thread —
+// it fires on the owner's next Test/Drain.
+func TestGraphDeferOps(t *testing.T) {
+	g := comp.NewGraph()
+	g.SetDeferOps()
+	var parent base.Comp
+	var childPosted atomic.Bool
+	p := g.AddOp(func(c base.Comp) base.Status {
+		parent = c
+		return base.Status{State: base.Posted}
+	})
+	ch := g.AddOp(func(c base.Comp) base.Status {
+		childPosted.Store(true)
+		return base.Status{State: base.Done}
+	})
+	g.AddEdge(p, ch)
+	g.Start() // posts the root from this thread
+	if parent == nil {
+		t.Fatal("root op not posted by Start")
+	}
+	sig := make(chan struct{})
+	go func() {
+		defer close(sig)
+		parent.Signal(base.Status{State: base.Done}) // foreign thread
+	}()
+	<-sig
+	if childPosted.Load() {
+		t.Fatal("deferred child op was posted by the signaling thread")
+	}
+	if !g.Test() { // owner's poll posts it
+		t.Fatal("graph incomplete after owner drained")
+	}
+	if !childPosted.Load() {
+		t.Fatal("child op never posted")
+	}
+}

@@ -280,7 +280,7 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 	case kRTS:
 		eng := d.rt.engineByID(h.engine)
 		key := matching.MakeKey(src, int(h.tag), h.policy)
-		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token}
+		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token, dev: d}
 		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
 			rop := m.(*recvOp)
 			d.startRTR(rop, arrival)
@@ -318,7 +318,11 @@ func (d *Device) completeEagerRecv(rop *recvOp, ea *eagerArrival, w *packet.Work
 }
 
 // startRTR reacts to a matched RTS: register the receive buffer and send
-// the RTR reply. Runs on the device the receive was posted to.
+// the RTR reply. Must run on the device whose endpoint the RTS arrived
+// on — NOT the device the receive was posted to, when those differ: the
+// sender's token lives on the device that posted the RTS, and wire
+// addressing pairs endpoint indices, so an RTR through any other device
+// reaches the wrong sender endpoint ("RTR for unknown send token").
 func (d *Device) startRTR(rop *recvOp, rts *rtsArrival) {
 	size := rts.size
 	if size > len(rop.buf) {

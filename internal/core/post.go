@@ -49,6 +49,10 @@ type Options struct {
 	// queue instead of returning a Retry status; the operation then
 	// reports Posted (§5.4, reaction 2).
 	DisallowRetry bool
+	// CollAlgorithm forces the algorithm of a collective operation
+	// (internal/coll; empty selects by message size and rank count).
+	// Point-to-point posting operations ignore it.
+	CollAlgorithm string
 }
 
 // RemoteBuffer names registered remote memory for RMA.
@@ -81,12 +85,17 @@ type eagerArrival struct {
 }
 
 // rtsArrival is an unexpected rendezvous announcement parked in the
-// matching engine.
+// matching engine. dev is the device whose endpoint the RTS arrived on:
+// the RTR reply must travel back through it — the sender's token lives
+// on the device that posted the RTS, and wire addressing pairs endpoint
+// indices — even when the matching receive is later posted on a
+// different pool device.
 type rtsArrival struct {
 	src   int
 	tag   int
 	size  int
 	token uint64
+	dev   *Device
 }
 
 // sendState is an in-flight rendezvous send awaiting its RTR.
@@ -397,9 +406,11 @@ func (rt *Runtime) postRecv(rank int, buf []byte, tag int, comp base.Comp, opts 
 			Buffer: buf[:n], Size: n, Ctx: opts.Ctx,
 		}, nil
 	case *rtsArrival:
-		// (10) matched a rendezvous announcement: reply with RTR; the
+		// (10) matched a rendezvous announcement: reply with RTR through
+		// the device the RTS arrived on (the sender's token and the wire
+		// pairing live there, not on this receive's posting device); the
 		// receive completes when the data lands.
-		d.startRTR(rop, arr)
+		arr.dev.startRTR(rop, arr)
 		return base.Status{State: base.Posted}, nil
 	default:
 		panic("lci: unexpected match type")

@@ -48,6 +48,7 @@ import (
 	"sync"
 
 	"lci/internal/base"
+	"lci/internal/coll"
 	"lci/internal/comp"
 	"lci/internal/core"
 	"lci/internal/netsim/fabric"
@@ -267,8 +268,7 @@ func (w *World) NewRuntime(rank int) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{core: crt}
-	rt.barrierME = crt.NewMatchingEngine(64)
+	rt := &Runtime{core: crt, coll: coll.New(crt)}
 	return rt, nil
 }
 
@@ -302,12 +302,11 @@ func (w *World) Launch(body func(rt *Runtime) error) error {
 type Runtime struct {
 	core *core.Runtime
 
-	// barrierME is a dedicated engine for Barrier traffic, allocated
-	// first so its wire id is identical on every rank. barrierEpoch
-	// separates consecutive barriers; Barrier is a collective and must
-	// not be called concurrently from several threads of one rank.
-	barrierME    *MatchEngine
-	barrierEpoch int
+	// coll is the rank's collectives context (internal/coll), allocated
+	// first so its dedicated matching engine's wire id is identical on
+	// every rank. Collectives must be issued in the same order on every
+	// rank and never concurrently from several threads of one rank.
+	coll *coll.Comm
 }
 
 // Rank returns this runtime's rank (get_rank_me).

@@ -550,7 +550,7 @@ func TestTopologyOptionOrder(t *testing.T) {
 // mismatch messages across rounds.
 func TestBarrierEpochRecycling(t *testing.T) {
 	const ranks = 2
-	const rounds = 2*64 + 5 // cross the epoch window twice (window 64)
+	const rounds = 2*128 + 5 // cross the epoch window twice (window 128)
 	w := lci.NewWorld(ranks)
 	defer w.Close()
 	var entered [ranks]atomic.Int64

@@ -94,6 +94,16 @@ func WithWorker(w *Worker) Option {
 	return func(o *core.Options) { o.Worker = w }
 }
 
+// WithCollAlgorithm forces a collective's algorithm instead of the
+// message-size/rank-count heuristic: CollDissemination (barrier),
+// CollFlat / CollBinomial (broadcast, reduce; CollFlat also allgather),
+// CollRDouble / CollReduceBcast (allreduce), CollRing (allgather). A
+// name the collective does not implement fails the call; every rank must
+// choose the same algorithm. Point-to-point posts ignore the option.
+func WithCollAlgorithm(name string) Option {
+	return func(o *core.Options) { o.CollAlgorithm = name }
+}
+
 // WithNoRetry diverts transient resource exhaustion to the device's
 // backlog queue instead of returning a Retry status; the post then always
 // reports Posted.
