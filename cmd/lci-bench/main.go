@@ -10,6 +10,7 @@
 //	lci-bench -fig 4                # one figure
 //	lci-bench -fig all -iters 5000  # everything, slower
 //	lci-bench -mode coll            # graph-driven collective latency + placement
+//	lci-bench -mode am              # handler vs cq-shim AM throughput
 //	lci-bench -table1 -platforms
 package main
 
@@ -26,7 +27,7 @@ import (
 
 var (
 	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
-	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement)")
+	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement) or am (handler vs cq-shim AM throughput)")
 	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
@@ -139,6 +140,23 @@ func coll() {
 	}
 }
 
+func am() {
+	fmt.Println("== Active messages: handler path vs completion-queue shim (8 B round trips) ==")
+	iters := *itersFlag
+	for _, plat := range lci.Platforms() {
+		for threads := 1; threads <= *maxPairs; threads *= 2 {
+			for _, path := range []string{"handler", "cqshim"} {
+				r, err := bench.AMRate(plat, threads, iters, path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					continue
+				}
+				fmt.Println(r)
+			}
+		}
+	}
+}
+
 func printTable1() {
 	fmt.Println("== Table 1: post_comm paradigm matrix ==")
 	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
@@ -177,6 +195,8 @@ func main() {
 	switch *modeFlag {
 	case "coll":
 		coll()
+	case "am":
+		am()
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)

@@ -1,11 +1,12 @@
 // Quickstart: two ranks exchange a two-sided message and an active
 // message through the public LCI API — the minimal round trip through
-// posting, progress, and completion objects.
+// posting, progress, completion objects, and a remote handler.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 
 	"lci"
 )
@@ -17,10 +18,16 @@ func main() {
 	err := world.Launch(func(rt *lci.Runtime) error {
 		peer := 1 - rt.Rank()
 
-		// Every rank registers a completion queue for incoming active
-		// messages; registration order makes the handle symmetric.
-		amq := lci.NewCQ()
-		rcomp := rt.RegisterRComp(amq)
+		// Every rank registers a remote handler for incoming active
+		// messages; registration order makes the handle symmetric. The
+		// handler runs inside the progress engine: consume the payload
+		// during the call (it is not valid afterwards), don't block.
+		var amDelivered atomic.Bool
+		rcomp := rt.RegisterHandler(func(st lci.Status) {
+			fmt.Printf("rank %d received (AM):        %q from rank %d tag %d\n",
+				rt.Rank(), st.Buffer, st.Rank, st.Tag)
+			amDelivered.Store(true)
+		})
 		if err := rt.Barrier(); err != nil {
 			return err
 		}
@@ -44,9 +51,10 @@ func main() {
 				rt.Progress()
 			}
 
-			// Active message to the peer's queue.
+			// Active message into the peer's handler; tag and local
+			// completion are options on the redesigned AM surface.
 			for {
-				st, err := rt.PostAM(peer, []byte("hello via AM"), 2, rcomp, nil)
+				st, err := rt.PostAM(peer, []byte("hello via AM"), rcomp, lci.WithTag(2))
 				if err != nil {
 					return err
 				}
@@ -77,13 +85,8 @@ func main() {
 		fmt.Printf("rank 1 received (send-recv): %q from rank %d tag %d\n",
 			st.Buffer[:st.Size], st.Rank, st.Tag)
 
-		// ...then the active message.
-		for {
-			if am, ok := amq.Pop(); ok {
-				fmt.Printf("rank 1 received (AM):        %q from rank %d tag %d\n",
-					am.Buffer, am.Rank, am.Tag)
-				break
-			}
+		// ...then progress until the handler has fired for the AM.
+		for !amDelivered.Load() {
 			rt.Progress()
 		}
 		return rt.Barrier()

@@ -1,8 +1,10 @@
-// iRPCLib: the paper's §4.2 walkthrough, ported to Go. A minimal RPC
-// library backend over LCI: a shared send-completion handler frees (here:
-// recycles) message buffers, a shared receive completion queue delivers
-// incoming RPCs, per-goroutine devices provide threading efficiency, and
-// every thread produces, consumes and progresses communication.
+// iRPCLib: the paper's §4.2 walkthrough, ported to Go on the first-class
+// active-message API. A minimal RPC library backend over LCI: a remote
+// handler serves incoming RPCs inline from the progress engine (no
+// dispatch queue between the wire and the serving code), a shared
+// send-completion handler frees (here: recycles) message buffers,
+// per-goroutine devices provide threading efficiency, and every thread
+// produces, consumes and progresses communication.
 package main
 
 import (
@@ -18,23 +20,24 @@ import (
 type backend struct {
 	rt       *lci.Runtime
 	shandler lci.Handler // send completion handler (Listing 2: send_cb)
-	rcq      *lci.CQ     // receive completion queue
-	rcomp    lci.RComp   // remote completion handle for rcq
+	rcomp    lci.RComp   // remote-handler handle for incoming RPCs
+	served   atomic.Int64
 	freed    atomic.Int64
 }
 
-// msg is the upper layer's message descriptor (Listing 2: msg_t).
-type msg struct {
-	rank int
-	tag  int
-	buf  []byte
-}
-
-func newBackend(rt *lci.Runtime) *backend {
-	b := &backend{rt: rt, rcq: lci.NewCQ()}
+// newBackend wires the backend. serve runs for every delivered RPC —
+// inside device progress, so it must consume the payload synchronously
+// (the buffer is only valid during the call) and must not block.
+func newBackend(rt *lci.Runtime, serve func(src, tag int, payload []byte)) *backend {
+	b := &backend{rt: rt}
 	// Source-side completion: "free" the buffer once the send is done.
 	b.shandler = func(lci.Status) { b.freed.Add(1) }
-	b.rcomp = rt.RegisterRComp(b.rcq)
+	// Remote handler: the RPC dispatch itself. Registration order makes
+	// the handle symmetric across ranks.
+	b.rcomp = rt.RegisterHandler(func(st lci.Status) {
+		serve(st.Rank, st.Tag, st.Buffer)
+		b.served.Add(1)
+	})
 	return b
 }
 
@@ -42,7 +45,8 @@ func newBackend(rt *lci.Runtime) *backend {
 // runtime asks for a retry — the upper layer can do something meaningful
 // meanwhile (poll other queues, aggregate, ...).
 func (b *backend) sendMsg(dev *lci.Device, rank int, buf []byte, tag int) (bool, error) {
-	st, err := b.rt.PostAM(rank, buf, tag, b.rcomp, b.shandler, lci.WithDevice(dev))
+	st, err := b.rt.PostAM(rank, buf, b.rcomp,
+		lci.WithTag(tag), lci.WithLocalComp(b.shandler), lci.WithDevice(dev))
 	if err != nil {
 		return false, err
 	}
@@ -55,16 +59,8 @@ func (b *backend) sendMsg(dev *lci.Device, rank int, buf []byte, tag int) (bool,
 	return true, nil
 }
 
-// pollMsg checks for delivered RPCs (Listing 2: poll_msg).
-func (b *backend) pollMsg() (msg, bool) {
-	st, ok := b.rcq.Pop()
-	if !ok {
-		return msg{}, false
-	}
-	return msg{rank: st.Rank, tag: st.Tag, buf: st.Buffer}, true
-}
-
-// doBackgroundWork progresses a device (Listing 2: do_background_work).
+// doBackgroundWork progresses a device (Listing 2: do_background_work);
+// incoming RPCs are served inline from here.
 func (b *backend) doBackgroundWork(dev *lci.Device) { b.rt.ProgressDevice(dev) }
 
 func main() {
@@ -74,13 +70,18 @@ func main() {
 	defer world.Close()
 
 	err := world.Launch(func(rt *lci.Runtime) error {
-		b := newBackend(rt)
+		b := newBackend(rt, func(src, tag int, payload []byte) {
+			// Handler context: consume synchronously, don't block. Real
+			// RPC libraries parse and dispatch the request right here.
+			if rt.Rank() == 0 && tag == 0 {
+				fmt.Printf("rank 0 serving RPC from rank %d: %q\n", src, payload)
+			}
+		})
 		if err := rt.Barrier(); err != nil {
 			return err
 		}
 		peer := 1 - rt.Rank()
 
-		var served atomic.Int64
 		var wg sync.WaitGroup
 		for t := 0; t < nthreads; t++ {
 			wg.Add(1)
@@ -94,7 +95,7 @@ func main() {
 				defer dev.Close()
 
 				sent := 0
-				for served.Load() < nthreads*rpcsPerThread || sent < rpcsPerThread {
+				for b.served.Load() < nthreads*rpcsPerThread || sent < rpcsPerThread {
 					if sent < rpcsPerThread {
 						payload := fmt.Sprintf("rpc %d from rank %d thread %d", sent, rt.Rank(), t)
 						ok, err := b.sendMsg(dev, peer, []byte(payload), t)
@@ -103,12 +104,6 @@ func main() {
 						}
 						if ok {
 							sent++
-						}
-					}
-					if m, ok := b.pollMsg(); ok {
-						served.Add(1)
-						if rt.Rank() == 0 && served.Load()%5 == 0 {
-							fmt.Printf("rank 0 served RPC: %q (handler index %d)\n", m.buf, m.tag)
 						}
 					}
 					b.doBackgroundWork(dev)
@@ -120,7 +115,7 @@ func main() {
 			return err
 		}
 		fmt.Printf("rank %d: served %d RPCs, freed %d send buffers\n",
-			rt.Rank(), served.Load(), b.freed.Load())
+			rt.Rank(), b.served.Load(), b.freed.Load())
 		return nil
 	})
 	if err != nil {

@@ -143,12 +143,59 @@ func (p MatchingPolicy) String() string {
 }
 
 // RComp is a remote completion handle (§4.2.3): a small integer registered
-// on the target process that names one of its completion objects. It is
-// safe to embed in wire headers.
+// on the target process that names one of its completion objects — or, with
+// the handler bit set, one of its remote handlers (LCI_COMPLETION_HANDLER).
+// It is safe to embed in wire headers.
 type RComp uint32
 
 // InvalidRComp is the zero value; a valid handle is always non-zero.
 const InvalidRComp RComp = 0
+
+// Handler-table encoding. A plain handle is a 1-based index into the
+// rank's completion-object registry. A handle with the handler bit set
+// instead addresses the rank's remote-handler table:
+//
+//	bit 30     handler flag
+//	bits 23-29 slot epoch (7 bits; bumped on every deregistration)
+//	bits 0-22  slot index (up to ~8M live handlers)
+//
+// The flag sits at bit 30, not 31, because put-with-signal immediates
+// carry the rcomp in 31 bits (bit 63 of the immediate is the rendezvous
+// discriminator), and completion-object handles are allocated sequentially
+// from 1 so the two spaces can never collide. The epoch makes
+// deregistration safe against in-flight messages: deregistering bumps the
+// slot's epoch, so an AM still in the network that names the old handle
+// fails the epoch comparison on arrival and is dropped instead of firing a
+// stale — or, after slot reuse, a wrong — handler.
+const (
+	handlerFlag       RComp = 1 << 30
+	handlerEpochShift       = 23
+	handlerEpochMask  RComp = 0x7f << handlerEpochShift
+	handlerIndexMask  RComp = 1<<handlerEpochShift - 1
+
+	// HandlerEpochs is the number of distinct epochs a handler slot cycles
+	// through; a message would have to stay in flight across this many
+	// register/deregister cycles of one slot to alias.
+	HandlerEpochs = 128
+	// MaxHandlers bounds the remote-handler table size.
+	MaxHandlers = int(handlerIndexMask) + 1
+)
+
+// MakeHandlerRComp builds a handler-table handle from a slot index and the
+// slot's current epoch.
+func MakeHandlerRComp(index int, epoch uint8) RComp {
+	return handlerFlag | RComp(epoch%HandlerEpochs)<<handlerEpochShift | RComp(index)&handlerIndexMask
+}
+
+// IsHandler reports whether the handle addresses the remote-handler table
+// rather than the completion-object registry.
+func (rc RComp) IsHandler() bool { return rc&handlerFlag != 0 }
+
+// HandlerIndex extracts the handler-table slot index.
+func (rc RComp) HandlerIndex() int { return int(rc & handlerIndexMask) }
+
+// HandlerEpoch extracts the slot epoch the handle was minted under.
+func (rc RComp) HandlerEpoch() uint8 { return uint8(rc & handlerEpochMask >> handlerEpochShift) }
 
 // AnyTag and AnySource are wildcard values accepted by receive operations
 // under the matching policies that permit them.

@@ -1,0 +1,48 @@
+package base
+
+import "testing"
+
+func TestHandlerRCompRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 7, 1000, MaxHandlers - 1} {
+		for _, ep := range []uint8{0, 1, 63, HandlerEpochs - 1} {
+			rc := MakeHandlerRComp(idx, ep)
+			if !rc.IsHandler() {
+				t.Fatalf("MakeHandlerRComp(%d,%d) = %#x: IsHandler false", idx, ep, rc)
+			}
+			if got := rc.HandlerIndex(); got != idx {
+				t.Fatalf("MakeHandlerRComp(%d,%d): HandlerIndex = %d", idx, ep, got)
+			}
+			if got := rc.HandlerEpoch(); got != ep {
+				t.Fatalf("MakeHandlerRComp(%d,%d): HandlerEpoch = %d", idx, ep, got)
+			}
+		}
+	}
+}
+
+func TestHandlerRCompEpochWraps(t *testing.T) {
+	// Epochs live in 7 bits; MakeHandlerRComp must reduce mod HandlerEpochs
+	// rather than smear into the flag or index fields.
+	rc := MakeHandlerRComp(42, HandlerEpochs) // wraps to epoch 0
+	if rc != MakeHandlerRComp(42, 0) {
+		t.Fatalf("epoch HandlerEpochs did not wrap to 0: %#x", rc)
+	}
+	if rc.HandlerIndex() != 42 || rc.HandlerEpoch() != 0 || !rc.IsHandler() {
+		t.Fatalf("wrapped handle decoded wrong: %#x", rc)
+	}
+}
+
+func TestHandlerRCompDisjointFromSequentialHandles(t *testing.T) {
+	// Completion-object handles are small sequential positive ints; any
+	// handler handle must be distinguishable from all of them, and the
+	// whole encoding must survive the 31-bit rcomp field of the
+	// put-with-signal immediate (i.e. bit 31 stays clear).
+	max := MakeHandlerRComp(MaxHandlers-1, HandlerEpochs-1)
+	if max>>31 != 0 {
+		t.Fatalf("handler handle overflows 31 bits: %#x", max)
+	}
+	for _, rc := range []RComp{InvalidRComp, 1, 2, 1000, 1 << 20} {
+		if rc.IsHandler() {
+			t.Fatalf("sequential handle %d classified as handler", rc)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lci"
+	"lci/internal/bench"
+)
+
+// TestAMShape is the standing active-message gate: serving small AMs
+// through the first-class handler path (poller-fired handlers, replies
+// posted from handler context with the backlog discipline) must beat the
+// completion-queue shim the old internal/rpc transport ran (shared CQ,
+// pop-and-dispatch from every thread, per-call option building) by at
+// least 1.2x in round-trip rate at 8 threads. The per-message work the
+// handler path deletes — status boxing, payload copy, shared MPMC
+// enqueue/dequeue — is the margin; measured points go to BENCH_am.json,
+// which cmd/lci-benchgate gates against the committed baseline.
+func TestAMShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AM path comparison is not short")
+	}
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
+	}
+	const threads, iters = 8, 8000
+	var handler, shim bench.AMResult
+	// Scheduler noise on small CI machines occasionally craters one
+	// measurement; re-measure once before declaring a regression.
+	for attempt := 0; attempt < 2; attempt++ {
+		var err error
+		handler, err = bench.AMRate(lci.SimExpanse(), threads, iters, "handler")
+		if err != nil {
+			t.Fatal(err)
+		}
+		shim, err = bench.AMRate(lci.SimExpanse(), threads, iters, "cqshim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("handler path: %v", handler)
+		t.Logf("cq shim path: %v", shim)
+		if handler.RateMps >= 1.2*shim.RateMps {
+			break
+		}
+	}
+	meta := bench.Meta{Threads: threads, Platform: lci.SimExpanse().Name}
+	if err := bench.WriteJSON("am", meta, []bench.AMResult{handler, shim}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
+	if handler.RateMps < 1.2*shim.RateMps {
+		t.Errorf("expected handler AM path >= 1.2x the cq shim path, got %.3f vs %.3f Mrt/s (%.2fx)",
+			handler.RateMps, shim.RateMps, handler.RateMps/shim.RateMps)
+	}
+}

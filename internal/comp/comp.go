@@ -34,6 +34,17 @@ var _ base.Comp = (*Counter)(nil)
 // Handler invokes a function on every signal; it is "essentially a
 // function pointer" (§5.1.4). The function must be safe for concurrent
 // invocation.
+//
+// As a local completion object a Handler runs wherever Signal is called —
+// usually inside the progress engine, so the handler-context rules apply:
+// don't block, don't spin on progress, post follow-up operations with the
+// no-retry/backlog option. For *remote* targets, prefer registering the
+// function itself (core Runtime.RegisterHandler / the root package's
+// unified RegisterRComp): that routes through the remote-handler table,
+// which dispatches without boxing a completion object and delivers eager
+// payloads zero-copy with the buffer valid only during the call, whereas a
+// Handler registered as a completion object is signaled with a private
+// copy it may retain.
 type Handler func(base.Status)
 
 // Signal invokes the handler function.

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"lci/internal/base"
+)
+
+func TestHandlerTableRegisterDeregisterReuse(t *testing.T) {
+	ht := newHandlerTable()
+	fired := 0
+	h1 := ht.register(func(base.Status) { fired++ })
+	if !h1.IsHandler() {
+		t.Fatalf("register returned non-handler handle %#x", h1)
+	}
+	if fn := ht.lookup(h1); fn == nil {
+		t.Fatal("fresh handle does not resolve")
+	} else {
+		fn(base.Status{})
+	}
+	if fired != 1 {
+		t.Fatalf("handler fired %d times, want 1", fired)
+	}
+
+	ht.deregister(h1)
+	if ht.lookup(h1) != nil {
+		t.Fatal("deregistered handle still resolves")
+	}
+	ht.deregister(h1) // double deregistration is a no-op
+	if ht.lookup(h1) != nil {
+		t.Fatal("double-deregistered handle resolves")
+	}
+
+	// Reuse: the freed slot comes back with a bumped epoch, so the old
+	// handle stays dead while the new one resolves to the new function.
+	h2 := ht.register(func(base.Status) {})
+	if h2.HandlerIndex() != h1.HandlerIndex() {
+		t.Fatalf("slot not reused: index %d -> %d", h1.HandlerIndex(), h2.HandlerIndex())
+	}
+	if h2.HandlerEpoch() == h1.HandlerEpoch() {
+		t.Fatal("reused slot kept the old epoch")
+	}
+	if ht.lookup(h1) != nil {
+		t.Fatal("old-generation handle resolves after slot reuse")
+	}
+	if ht.lookup(h2) == nil {
+		t.Fatal("new-generation handle does not resolve")
+	}
+
+	// A handle for the old epoch must not deregister the new occupant.
+	ht.deregister(h1)
+	if ht.lookup(h2) == nil {
+		t.Fatal("stale deregister killed the new occupant")
+	}
+}
+
+func TestHandlerRCompSurvivesPutImm(t *testing.T) {
+	// Put-with-signal immediates carry the rcomp in 31 bits next to the
+	// rendezvous discriminator bit; handler handles (flag at bit 30) must
+	// round-trip and must never be mistaken for rendezvous tokens.
+	for _, rc := range []base.RComp{
+		base.MakeHandlerRComp(0, 0),
+		base.MakeHandlerRComp(base.MaxHandlers-1, base.HandlerEpochs-1),
+		base.MakeHandlerRComp(12345, 77),
+	} {
+		for _, tag := range []int{0, 1, -1, 1 << 20} {
+			imm := encodePutImm(rc, tag)
+			if isRdvImm(imm) {
+				t.Fatalf("handler imm %#x classified as rendezvous", imm)
+			}
+			gotRC, gotTag := decodePutImm(imm)
+			if gotRC != rc || gotTag != tag {
+				t.Fatalf("putImm round trip: got (%#x,%d), want (%#x,%d)", gotRC, gotTag, rc, tag)
+			}
+		}
+	}
+}

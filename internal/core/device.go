@@ -267,14 +267,22 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		// Unmatched: the packet stays parked in the engine until a recv
 		// arrives; it is recycled in completeEagerRecv.
 	case kEagerAM:
-		// (6) signal the registered remote completion object.
-		if comp := d.rt.lookupRComp(h.rcomp); comp != nil {
+		// (6) deliver to the registered remote target. Table handlers fire
+		// inline with the payload still in the packet — zero-copy, so the
+		// buffer is only valid during the call (the packet recycles right
+		// after). Completion objects may retain their status indefinitely
+		// (queues do), so they get a private copy.
+		st := base.Status{
+			State: base.Done, Rank: src, Tag: int(h.tag),
+			Buffer: payload, Size: len(payload),
+		}
+		if fn := d.rt.lookupHandler(h.rcomp); fn != nil {
+			fn(st)
+		} else if comp := d.rt.lookupRComp(h.rcomp); comp != nil {
 			data := make([]byte, len(payload))
 			copy(data, payload)
-			comp.Signal(base.Status{
-				State: base.Done, Rank: src, Tag: int(h.tag),
-				Buffer: data, Size: len(data),
-			})
+			st.Buffer = data
+			comp.Signal(st)
 		}
 		w.Put(pkt)
 	case kRTS:
@@ -287,11 +295,15 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		}
 		w.Put(pkt)
 	case kRTSAM:
-		// Rendezvous active message: allocate the delivery buffer now and
-		// invite the data.
-		buf := make([]byte, h.size)
+		// Rendezvous active message: allocate the delivery buffer — from
+		// the registered AM allocator for handler targets, plain make
+		// otherwise — and invite the data. The RTR goes back through this
+		// device, the one the RTS arrived on, which is also where the
+		// handler will fire when the payload lands (arrival-device
+		// correctness; see startRTR).
+		buf, owner := d.rt.allocAM(int(h.size), h.rcomp)
 		d.respondRTR(src, h.token, buf, rdvState{
-			isAM: true, rcomp: h.rcomp, buf: buf, src: src, tag: int(h.tag),
+			isAM: true, rcomp: h.rcomp, buf: buf, alloc: owner, src: src, tag: int(h.tag),
 		})
 		w.Put(pkt)
 	case kRTR:
@@ -320,9 +332,11 @@ func (d *Device) completeEagerRecv(rop *recvOp, ea *eagerArrival, w *packet.Work
 // startRTR reacts to a matched RTS: register the receive buffer and send
 // the RTR reply. Must run on the device whose endpoint the RTS arrived
 // on — NOT the device the receive was posted to, when those differ: the
-// sender's token lives on the device that posted the RTS, and wire
-// addressing pairs endpoint indices, so an RTR through any other device
-// reaches the wrong sender endpoint ("RTR for unknown send token").
+// receiver token and registered memory live in this device's tables, and
+// the RTR names this device (header size field) as the write-imm target,
+// so the payload must land here ("write-imm for unknown recv token"
+// otherwise). The sender side is addressed explicitly: the RTR goes to
+// the device named in the sender token's upper half.
 func (d *Device) startRTR(rop *recvOp, rts *rtsArrival) {
 	size := rts.size
 	if size > len(rop.buf) {
@@ -336,8 +350,9 @@ func (d *Device) startRTR(rop *recvOp, rts *rtsArrival) {
 // rdvState tracks one receiver-side rendezvous in flight.
 type rdvState struct {
 	isAM  bool
-	rcomp base.RComp // AM: target completion handle
-	comp  base.Comp  // send-recv: posted receive's completion object
+	rcomp base.RComp   // AM: target completion handle
+	comp  base.Comp    // send-recv: posted receive's completion object
+	alloc *AMAllocator // AM: allocator owning buf (nil = receiver owns it)
 	ctx   any
 	buf   []byte
 	rkey  uint64
@@ -346,9 +361,11 @@ type rdvState struct {
 }
 
 // respondRTR registers buf, stores the rendezvous state and sends the RTR
-// control message. Failures are parked on the backlog queue — this path
-// runs inside the progress engine or a posting call that already matched,
-// so it cannot bounce a retry to the user (§5.1.5).
+// control message — addressed to the device the RTS was posted from (its
+// index rides in the sender token's upper half), which is the only device
+// whose token table knows the send. Failures are parked on the backlog
+// queue — this path runs inside the progress engine or a posting call that
+// already matched, so it cannot bounce a retry to the user (§5.1.5).
 func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState) {
 	rkey, err := d.net.RegisterMem(buf)
 	if err != nil {
@@ -365,19 +382,19 @@ func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState
 		token: senderToken,
 		rkey:  rkey,
 	}
-	d.sendControl(src, hdr)
+	d.sendControl(src, int(senderToken>>32), hdr)
 }
 
-// sendControl emits a header-only control message, diverting to the
-// backlog on transient failure.
-func (d *Device) sendControl(dst int, hdr header) {
+// sendControl emits a header-only control message to the peer's device
+// remoteDev, diverting to the backlog on transient failure.
+func (d *Device) sendControl(dst, remoteDev int, hdr header) {
 	try := func() error {
 		pkt := d.worker.Get()
 		if pkt == nil {
 			return errNoPacket
 		}
 		hdr.encode(pkt.Data)
-		err := d.net.PostSend(dst, d.Index(), uint32(hdr.kind), pkt.Data[:headerSize], nil)
+		err := d.net.PostSend(dst, remoteDev, uint32(hdr.kind), pkt.Data[:headerSize], nil)
 		d.worker.Put(pkt) // the fabric copied the bytes (or it failed); recycle either way
 		return err
 	}
@@ -434,21 +451,26 @@ func (d *Device) handleWriteImm(src int, imm uint64, length int) {
 			Buffer: st.buf[:length], Size: length, Ctx: st.ctx,
 		}
 		if st.isAM {
-			if comp := d.rt.lookupRComp(st.rcomp); comp != nil {
-				comp.Signal(status)
+			// Rendezvous AM arrival: fire the handler (poller context) or
+			// signal the completion object, then hand the buffer back to
+			// its allocator if one owns it. A stale handler handle drops
+			// the delivery; the buffer is still reclaimed.
+			d.rt.fireAM(st.rcomp, status)
+			if st.alloc != nil && st.alloc.Free != nil {
+				st.alloc.Free(st.buf)
 			}
 			return
 		}
 		st.comp.Signal(status)
 		return
 	}
-	// Put with signal: notify the registered remote completion object.
+	// Put with signal: notify the registered remote target (completion
+	// object or table handler; handler handles survive the 31-bit immediate
+	// encoding because their flag sits at bit 30).
 	rc, tag := decodePutImm(imm)
-	if comp := d.rt.lookupRComp(rc); comp != nil {
-		comp.Signal(base.Status{
-			State: base.Done, Rank: src, Tag: tag, Size: length,
-		})
-	}
+	d.rt.fireAM(rc, base.Status{
+		State: base.Done, Rank: src, Tag: tag, Size: length,
+	})
 }
 
 // engineByID resolves the wire engine id to a matching engine; id 0 is

@@ -25,9 +25,19 @@ type Options struct {
 	Engine *MatchEngine
 	// Policy is the matching policy (§4.3.2).
 	Policy base.MatchingPolicy
-	// RComp names a remote completion object (turns a send into an active
-	// message, or a put into a put-with-signal; Table 1).
+	// RComp names a remote completion target — a completion object or a
+	// table handler (turns a send into an active message, or a put into a
+	// put-with-signal; Table 1).
 	RComp base.RComp
+	// Tag is the message tag for posting surfaces that pass it as an
+	// option rather than positionally (the public PostAM). The core Post*
+	// entry points take tag positionally and ignore this field.
+	Tag int
+	// LocalComp is the source-side completion object for posting surfaces
+	// that pass it as an option rather than positionally (the public
+	// PostAM). The core Post* entry points take comp positionally and
+	// ignore this field.
+	LocalComp base.Comp
 	// Remote supplies the remote buffer for RMA operations (Table 1).
 	Remote *RemoteBuffer
 	// RemoteDevice selects which peer endpoint handles the operation when
@@ -318,8 +328,13 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 	ss := &sendState{buf: buf, comp: comp, st: base.Status{
 		State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
 	}}
+	// The upper half of the wire token names the device the RTS is posted
+	// from: the sender state lives in that device's token table, so the
+	// receiver must address the RTR to it explicitly — endpoint-index
+	// pairing only reaches it when the remote device happens to mirror the
+	// posting device (it doesn't under WithRemoteDevice).
 	token := d.tokens.alloc(ss)
-	hdr.token = uint64(token)
+	hdr.token = uint64(d.Index())<<32 | uint64(token)
 	hdr.size = uint32(len(buf))
 
 	w := opts.worker(d)

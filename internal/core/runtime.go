@@ -112,6 +112,13 @@ type Runtime struct {
 	defDev  *Device
 	devs    *mpmc.Array[*Device]
 	rcomps  *mpmc.Array[base.Comp]
+	// handlers is the remote-handler table (internal/core/am.go): the
+	// second rcomp namespace, addressed by handles with the handler bit
+	// set, whose entries fire inside the poller instead of being signaled.
+	handlers *handlerTable
+	// amAlloc supplies receive-side buffers for rendezvous AM payloads
+	// bound for table handlers (nil = plain make).
+	amAlloc atomic.Pointer[AMAllocator]
 	rank    int
 	nranks  int
 	closed  bool
@@ -140,15 +147,16 @@ func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Confi
 		return nil, fmt.Errorf("lci: opening backend %s: %w", backend.Name(), err)
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		netctx:  netctx,
-		pool:    packet.NewPool(cfg.PacketSize, cfg.PacketsPerWorker),
-		defME:   matching.New(cfg.MatchBuckets),
-		engines: mpmc.NewArray[*matching.Engine](4),
-		devs:    mpmc.NewArray[*Device](4),
-		rcomps:  mpmc.NewArray[base.Comp](8),
-		rank:    rank,
-		nranks:  netctx.NumRanks(),
+		cfg:      cfg,
+		netctx:   netctx,
+		pool:     packet.NewPool(cfg.PacketSize, cfg.PacketsPerWorker),
+		defME:    matching.New(cfg.MatchBuckets),
+		engines:  mpmc.NewArray[*matching.Engine](4),
+		devs:     mpmc.NewArray[*Device](4),
+		rcomps:   mpmc.NewArray[base.Comp](8),
+		handlers: newHandlerTable(),
+		rank:     rank,
+		nranks:   netctx.NumRanks(),
 	}
 	if nd := cfg.Topology.Domains(); !cfg.Topology.Single() {
 		rt.domPins = make([]atomic.Uint64, nd)
@@ -348,22 +356,38 @@ func (rt *Runtime) RegisterWorker() *packet.Worker { return rt.pool.RegisterWork
 func (rt *Runtime) Pool() *packet.Pool { return rt.pool }
 
 // RegisterRComp registers c and returns a remote completion handle other
-// ranks can address (§4.2.3). Handles are never reused.
+// ranks can address (§4.2.3). Handles are never reused. comp.Handler
+// values work here too — the object is boxed and Signal invokes it — but
+// RegisterHandler is the first-class route for function targets: its
+// handles dispatch through the handler table with no completion-object
+// indirection and get zero-copy eager payload delivery.
 func (rt *Runtime) RegisterRComp(c base.Comp) base.RComp {
 	idx := rt.rcomps.Append(c)
 	return base.RComp(idx + 1)
 }
 
-// DeregisterRComp clears a handle; later signals to it are dropped.
+// DeregisterRComp clears a handle of either kind — completion object or
+// table handler; later signals to it are dropped (handler handles via the
+// epoch discipline of DeregisterHandler).
 func (rt *Runtime) DeregisterRComp(rc base.RComp) {
 	if rc == base.InvalidRComp {
+		return
+	}
+	if rc.IsHandler() {
+		rt.handlers.deregister(rc)
 		return
 	}
 	rt.rcomps.Set(int(rc)-1, nil)
 }
 
-// lookupRComp resolves a handle (lock-free, hot path).
+// lookupRComp resolves a completion-object handle (lock-free, hot path).
+// Handler handles resolve through lookupHandler/fireAM instead; their
+// indices sit far above any live registry slot, so the bounds check below
+// already rejects them and the explicit guard just documents it.
 func (rt *Runtime) lookupRComp(rc base.RComp) base.Comp {
+	if rc.IsHandler() {
+		return nil
+	}
 	idx := int(rc) - 1
 	if idx < 0 || idx >= rt.rcomps.Len() {
 		return nil

@@ -24,6 +24,17 @@ import (
 
 // Packet is a fixed-size pre-registered buffer. Data has the pool's full
 // packet size; users slice it as needed.
+//
+// Ownership hand-off rules: whoever holds the *Packet owns Data outright
+// until it calls Put, at which point the buffer may be reissued to any
+// worker and must not be touched again. The core runtime exploits the
+// window between arrival and Put for zero-copy delivery — remote-handler
+// active messages are invoked with Status.Buffer aliasing the packet's
+// payload region, which is why handler payloads are documented as valid
+// only for the duration of the call: the poller recycles the packet the
+// moment the handler returns. Completion objects that outlive the call
+// (queues, parked matching-engine arrivals) either copy the payload first
+// or keep the packet checked out until they are drained.
 type Packet struct {
 	Data []byte
 	pool *Pool

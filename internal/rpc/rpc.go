@@ -6,9 +6,9 @@ package rpc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lci"
-	"lci/internal/comp"
 	"lci/internal/gasnetsim"
 	"lci/internal/netsim/raw"
 )
@@ -37,31 +37,37 @@ type Transport interface {
 // ---------------------------------------------------------------------------
 // LCI transport
 
-// LCITransport runs the mini-app over this repository's LCI library,
-// following the backend sketch of the paper's §4.2: a shared receive
-// completion queue (any thread can serve any incoming RPC — the improved
-// load balance called out in §6.3) with one device per worker thread.
+// LCITransport runs the mini-app over this repository's LCI library as a
+// thin wrapper over core active messages: one remote handler delivers
+// every incoming RPC straight to the sink from inside device progress (no
+// transport-owned dispatch queue or matching loop), with one device per
+// worker thread. Any thread still serves any RPC that arrives on its
+// device — the load-balance property of §6.3 — the dispatch hop through a
+// shared completion queue is just gone.
 type LCITransport struct {
-	rt    *lci.Runtime
-	rcq   *comp.Queue
-	rcomp lci.RComp
-	devs  []*lci.Device
-	sink  func(int, []byte)
+	rt     *lci.Runtime
+	rcomp  lci.RComp
+	devs   []*lci.Device
+	sink   atomic.Pointer[func(int, []byte)]
+	served atomic.Int64
 }
 
 // NewLCITransport builds the transport for one rank with nthreads worker
 // threads. Ranks must construct transports symmetrically.
 func NewLCITransport(rt *lci.Runtime, nthreads int) (*LCITransport, error) {
-	t := &LCITransport{rt: rt, rcq: comp.NewQueue()}
-	t.rcomp = rt.RegisterRComp(t.rcq)
+	t := &LCITransport{rt: rt}
+	t.rcomp = rt.RegisterHandler(func(st lci.Status) {
+		// Handler payloads are transient (valid only during the call); the
+		// mini-app sinks parse synchronously, which is exactly the GASNet
+		// medium-AM contract the paper's backends share.
+		(*t.sink.Load())(st.Rank, st.Buffer)
+		t.served.Add(1)
+	})
 	for i := 0; i < nthreads; i++ {
-		var dev *lci.Device
-		var err error
-		if i == 0 {
-			dev = rt.DefaultDevice()
-		} else {
-			dev, err = rt.NewDevice()
-			if err != nil {
+		dev := rt.DefaultDevice()
+		if i > 0 {
+			var err error
+			if dev, err = rt.NewDevice(); err != nil {
 				return nil, err
 			}
 		}
@@ -72,7 +78,7 @@ func NewLCITransport(rt *lci.Runtime, nthreads int) (*LCITransport, error) {
 
 func (t *LCITransport) Rank() int                    { return t.rt.Rank() }
 func (t *LCITransport) NumRanks() int                { return t.rt.NumRanks() }
-func (t *LCITransport) SetSink(fn func(int, []byte)) { t.sink = fn }
+func (t *LCITransport) SetSink(fn func(int, []byte)) { t.sink.Store(&fn) }
 
 func (t *LCITransport) Send(dst int, payload []byte, tid int) {
 	dev := t.devs[tid]
@@ -80,7 +86,7 @@ func (t *LCITransport) Send(dst int, payload []byte, tid int) {
 		// Posting uses the device's own packet-pool worker: one worker
 		// per device keeps packet traffic thread-local without a second
 		// set of per-thread packet quotas.
-		st, err := t.rt.PostAM(dst, payload, 0, t.rcomp, nil, lci.WithDevice(dev))
+		st, err := t.rt.PostAM(dst, payload, t.rcomp, lci.WithDevice(dev))
 		if err != nil {
 			panic(fmt.Sprintf("rpc/lci: PostAM: %v", err))
 		}
@@ -92,16 +98,9 @@ func (t *LCITransport) Send(dst int, payload []byte, tid int) {
 }
 
 func (t *LCITransport) Serve(tid int) int {
+	before := t.served.Load()
 	t.devs[tid].Progress()
-	n := 0
-	for {
-		st, ok := t.rcq.Pop()
-		if !ok {
-			return n
-		}
-		t.sink(st.Rank, st.Buffer)
-		n++
-	}
+	return int(t.served.Load() - before)
 }
 
 // ---------------------------------------------------------------------------

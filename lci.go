@@ -15,30 +15,46 @@
 //
 // # Quick start
 //
+// The shortest useful program is an active message into a remote handler:
+// every rank registers a handler (symmetric registration order makes the
+// handle agree across ranks), rank 0 posts an AM at it, and the peer's
+// progress engine invokes the handler inline on arrival:
+//
 //	world := lci.NewWorld(2)
 //	defer world.Close()
 //	world.Launch(func(rt *lci.Runtime) error {
 //		peer := 1 - rt.Rank()
-//		cq := lci.NewCQ()
+//		done := make(chan string, 1)
+//		rcomp := rt.RegisterHandler(func(st lci.Status) {
+//			// Buffer is valid only during the call: copy to retain.
+//			done <- string(st.Buffer)
+//		})
+//		rt.Barrier()
 //		if rt.Rank() == 0 {
-//			rt.PostSend(peer, []byte("hello"), 7, cq)
-//		} else {
-//			buf := make([]byte, 16)
-//			rt.PostRecv(peer, buf, 7, cq)
+//			for st, _ := rt.PostAM(peer, []byte("hello"), rcomp); st.IsRetry(); {
+//				rt.Progress()
+//				st, _ = rt.PostAM(peer, []byte("hello"), rcomp)
+//			}
+//			return rt.Barrier()
 //		}
 //		for {
-//			if st, ok := cq.Pop(); ok {
-//				_ = st
-//				return nil
-//			}
 //			rt.Progress()
+//			select {
+//			case msg := <-done:
+//				_ = msg
+//				return rt.Barrier()
+//			default:
+//			}
 //		}
 //	})
 //
+// Two-sided send/receive works the same way with PostSend/PostRecv and a
+// completion object (queue, counter, sync) in place of the handler.
 // Optional arguments use functional options — Go's equivalent of the
 // paper's C++ named-parameter idiom (§4.1): start with the plain call and
 // refine it in any order, e.g.
 //
+//	rt.PostAM(peer, buf, rcomp, lci.WithTag(7), lci.WithDevice(dev))
 //	rt.PostSend(peer, buf, tag, cq, lci.WithDevice(dev), lci.WithMatchingEngine(me))
 package lci
 
@@ -362,12 +378,70 @@ func (rt *Runtime) NewMatchingEngine(buckets int) *MatchEngine {
 // traffic.
 func (rt *Runtime) RegisterWorker() *Worker { return rt.core.RegisterWorker() }
 
-// RegisterRComp registers a completion object for remote signaling and
-// returns its handle (register_rcomp).
-func (rt *Runtime) RegisterRComp(c Comp) RComp { return rt.core.RegisterRComp(c) }
+// RegisterRComp is the unified remote-completion registration API
+// (register_rcomp): it accepts either a completion object (Comp — queue,
+// counter, sync, graph node), registered in the completion-object registry
+// and signaled on delivery, or a handler function (func(Status) or
+// Handler), installed in the remote-handler table and invoked inline by
+// the destination's progress engine. Both return an RComp that peers name
+// with PostAM / WithRemoteComp. Any other target type panics.
+//
+// Function targets get first-class handler dispatch — zero-copy eager
+// payload delivery, no completion-object indirection, epoch-safe
+// deregistration — and must follow the handler-context rules documented on
+// RegisterHandler.
+func (rt *Runtime) RegisterRComp(target any) RComp {
+	switch v := target.(type) {
+	case nil:
+		panic("lci: RegisterRComp requires a completion object or handler function")
+	case func(Status):
+		return rt.core.RegisterHandler(v)
+	case Handler:
+		return rt.core.RegisterHandler(v)
+	case Comp:
+		return rt.core.RegisterRComp(v)
+	default:
+		panic(fmt.Sprintf("lci: RegisterRComp: unsupported target type %T", target))
+	}
+}
 
-// DeregisterRComp releases a remote completion handle.
+// RegisterHandler installs fn in the runtime's remote-handler table and
+// returns the handle peers address it by — the paper's
+// LCI_COMPLETION_HANDLER as a first-class remote target. The handler fires
+// inside the progress engine of whichever device the message arrives on,
+// with the payload delivered zero-copy for eager messages: Status.Buffer
+// is valid only for the duration of the call (copy to retain). Rendezvous
+// payloads arrive in a buffer from the registered AM allocator (plain make
+// by default; the handler may retain it unless the allocator's Free hook
+// reclaims it).
+//
+// Handler-context rules: a handler must not block or spin on progress (it
+// runs under the device's poll lock); it may post new operations, best
+// with WithNoRetry so transient failures divert to the backlog queue; and
+// a handler that signals a completion graph should have the graph's
+// deferred-ops mode enabled (Graph.SetDeferOps) so ready op nodes queue to
+// the graph owner instead of posting from poller context.
+func (rt *Runtime) RegisterHandler(fn func(Status)) RComp {
+	return rt.core.RegisterHandler(fn)
+}
+
+// DeregisterRComp releases a remote completion handle of either kind.
+// Completion-object handles drop later signals; handler handles are
+// invalidated epoch-safely — AMs still in flight when the call returns are
+// dropped on arrival, and the slot can be reused without them aliasing the
+// new occupant.
 func (rt *Runtime) DeregisterRComp(rc RComp) { rt.core.DeregisterRComp(rc) }
+
+// AMAllocator supplies receive-side buffers for rendezvous AM payloads;
+// see SetAMAllocator.
+type AMAllocator = core.AMAllocator
+
+// SetAMAllocator registers the allocator consulted for rendezvous AM
+// payloads bound for handler targets: Alloc runs in the poller when the
+// RTS arrives, and Free (optional) reclaims the buffer after the handler
+// returns, enabling pooled slabs. nil restores the default plain-make
+// behavior, under which the handler owns the delivered buffer.
+func (rt *Runtime) SetAMAllocator(a *AMAllocator) { rt.core.SetAMAllocator(a) }
 
 // RegisterMemory registers buf for RMA on a device (nil = default) and
 // returns the rkey a peer needs to address it.

@@ -189,7 +189,7 @@ func TestActiveMessageEagerAndRendezvous(t *testing.T) {
 						}
 						cnt := lci.NewCounter()
 						for {
-							st, err := rt.PostAM(peer, msg, 9, rcomp, cnt)
+							st, err := rt.PostAM(peer, msg, rcomp, lci.WithTag(9), lci.WithLocalComp(cnt))
 							if err != nil {
 								return err
 							}
@@ -244,7 +244,9 @@ func TestPutAndPutWithSignal(t *testing.T) {
 			}
 			msg := []byte(fmt.Sprintf("%d", rkey))
 			for {
-				st, err := rt.PostAM(peer, msg, 0, 1, nil) // rcomp handle 1 on the peer is rkeyCQ
+				// The deprecated five-positional wrapper still works for one
+				// release; rcomp handle 1 on the peer is rkeyCQ.
+				st, err := rt.PostAMTagged(peer, msg, 0, 1, nil)
 				if err != nil {
 					return err
 				}
@@ -337,7 +339,7 @@ func TestGet(t *testing.T) {
 				return err
 			}
 			for {
-				st, err := rt.PostAM(peer, []byte(fmt.Sprintf("%d", rkey)), 0, 1, nil)
+				st, err := rt.PostAM(peer, []byte(fmt.Sprintf("%d", rkey)), 1)
 				if err != nil {
 					return err
 				}
@@ -403,7 +405,7 @@ func TestTable1PostCommMatrix(t *testing.T) {
 		// rcomps are symmetric (same registration order on both ranks),
 		// but rkeys are fabric-unique; exchange them over an AM.
 		for {
-			st, err := rt.PostAM(peer, []byte(fmt.Sprintf("%d", rkey)), 0, rc, nil)
+			st, err := rt.PostAM(peer, []byte(fmt.Sprintf("%d", rkey)), rc)
 			if err != nil {
 				return err
 			}

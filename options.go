@@ -42,11 +42,39 @@ func WithPolicy(p MatchingPolicy) Option {
 	return func(o *core.Options) { o.Policy = p }
 }
 
-// WithRemoteComp names a completion object registered at the target. On a
-// send it selects the active-message paradigm; on a put it adds the
-// remote signal (Table 1).
+// WithRemoteComp names a remote completion target registered at the
+// destination rank: either a completion object (RegisterRComp — queue,
+// counter, sync, graph node) that is signaled with the delivered status,
+// or a remote handler (RegisterHandler) that the destination's progress
+// engine invokes inline when the message arrives — the paper's
+// LCI_COMPLETION_HANDLER paradigm. On a send it selects the
+// active-message row of Table 1; on a put it adds the remote signal.
+//
+// Payloads up to MaxEager travel in one eager packet and, for handler
+// targets, are delivered zero-copy (the buffer is valid only during the
+// handler call). Larger payloads engage the rendezvous AM path: the RTS
+// carries the handle, the target allocates the delivery buffer (via
+// SetAMAllocator, plain make by default) and pulls the data, and the
+// handler fires once the payload has landed.
 func WithRemoteComp(rc RComp) Option {
 	return func(o *core.Options) { o.RComp = rc }
+}
+
+// WithTag sets the message tag on posting operations whose signature does
+// not take it positionally (PostAM; default tag 0). AM tags are delivered
+// in the status and are purely a payload discriminator — active messages
+// never pass through a matching engine.
+func WithTag(tag int) Option {
+	return func(o *core.Options) { o.Tag = tag }
+}
+
+// WithLocalComp attaches a source-side completion object to posting
+// operations whose signature does not take one positionally (PostAM): it
+// is signaled when the outgoing payload has been injected (eager) or
+// pulled by the target (rendezvous), exactly like the positional comp of
+// PostSend. Without it, source-side completion is fire-and-forget.
+func WithLocalComp(c Comp) Option {
+	return func(o *core.Options) { o.LocalComp = c }
 }
 
 // WithRemoteBuffer names registered remote memory, selecting the RMA
@@ -140,9 +168,30 @@ func (rt *Runtime) PostRecv(rank int, buf []byte, tag int, comp Comp, opts ...Op
 	return rt.core.PostRecv(rank, buf, tag, comp, buildOpts(opts))
 }
 
-// PostAM posts an active message: the completion object registered at the
-// target under rcomp is signaled with the delivered data.
-func (rt *Runtime) PostAM(rank int, buf []byte, tag int, rcomp RComp, comp Comp, opts ...Option) (Status, error) {
+// PostAM posts an active message: the remote target registered at the
+// destination under rcomp — a handler (RegisterHandler), which the
+// destination's progress engine invokes inline with the delivered data, or
+// a completion object (RegisterRComp), which is signaled with it. Tag and
+// source-side completion are optional (WithTag, WithLocalComp):
+//
+//	rt.PostAM(peer, payload, rcomp)                              // fire and forget
+//	rt.PostAM(peer, payload, rcomp, lci.WithTag(7))              // tagged
+//	rt.PostAM(peer, payload, rcomp, lci.WithLocalComp(cnt))      // count injections
+//
+// Payloads up to MaxEager travel eagerly (zero-copy into handlers);
+// larger ones use the rendezvous AM path — see WithRemoteComp for the
+// protocol and ownership rules.
+func (rt *Runtime) PostAM(rank int, buf []byte, rcomp RComp, opts ...Option) (Status, error) {
+	o := buildOpts(opts)
+	o.RComp = rcomp
+	return rt.core.PostAM(rank, buf, o.Tag, o.LocalComp, o)
+}
+
+// PostAMTagged is the previous five-positional-parameter form of PostAM.
+//
+// Deprecated: use PostAM(rank, buf, rcomp, ...) with WithTag and
+// WithLocalComp; this wrapper exists for one release to ease migration.
+func (rt *Runtime) PostAMTagged(rank int, buf []byte, tag int, rcomp RComp, comp Comp, opts ...Option) (Status, error) {
 	o := buildOpts(opts)
 	o.RComp = rcomp
 	return rt.core.PostAM(rank, buf, tag, comp, o)
