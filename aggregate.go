@@ -1,0 +1,56 @@
+package lci
+
+import "lci/internal/agg"
+
+// Aggregation layer (internal/agg): per-(destination, device) coalescing
+// of small records into single eager active messages, with size/age/
+// explicit flush triggers, first-class backpressure (ErrAggBusy instead
+// of unbounded queueing), and NUMA-aware buffer homing. See the package
+// documentation of internal/agg for the buffer lifecycle and the
+// DESIGN.md aggregation section for how it composes with the device pool
+// and topology model.
+type (
+	// Aggregator coalesces small records per destination over the
+	// runtime's device pool.
+	Aggregator = agg.Aggregator
+	// AggConfig parameterizes an Aggregator (zero value = defaults:
+	// eager-threshold buffers, 4 buffers per destination shard,
+	// device-local homing).
+	AggConfig = agg.Config
+	// AggThread is a producer goroutine's aggregation handle (device
+	// column + packet worker + homing penalty); like an Affinity it
+	// belongs to one goroutine.
+	AggThread = agg.Thread
+	// AggSink consumes delivered records in poller context (handler
+	// rules: no blocking, record valid only during the call).
+	AggSink = agg.Sink
+	// AggHoming selects the NUMA domain aggregation buffers are homed on.
+	AggHoming = agg.Homing
+)
+
+// Homing policies for AggConfig.Homing.
+const (
+	// AggHomeDevice homes buffers on their bound device's domain
+	// (default).
+	AggHomeDevice = agg.HomeDevice
+	// AggHomeFarthest is the measurement adversary: buffers homed on the
+	// farthest domain from their device.
+	AggHomeFarthest = agg.HomeFarthest
+)
+
+// Aggregation errors.
+var (
+	// ErrAggBusy: every buffer for the destination is in flight — poll or
+	// back off (Aggregator.AppendWait does), do not queue unboundedly.
+	ErrAggBusy = agg.ErrBusy
+	// ErrAggRecordTooLarge: the record cannot fit a buffer even alone.
+	ErrAggRecordTooLarge = agg.ErrRecordTooLarge
+)
+
+// NewAggregator builds an aggregation layer over the runtime's current
+// device pool and registers its delivery handler. Like every handler
+// registration it must happen at the same point on every rank (symmetric
+// registration order), with the same configuration shape.
+func (rt *Runtime) NewAggregator(sink AggSink, cfg AggConfig) *Aggregator {
+	return agg.New(rt.core, sink, cfg)
+}

@@ -11,6 +11,7 @@
 //	lci-bench -fig all -iters 5000  # everything, slower
 //	lci-bench -mode coll            # graph-driven collective latency + placement
 //	lci-bench -mode am              # handler vs cq-shim AM throughput
+//	lci-bench -mode agg             # coalesced vs naive record throughput + homing
 //	lci-bench -table1 -platforms
 package main
 
@@ -27,7 +28,7 @@ import (
 
 var (
 	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
-	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement) or am (handler vs cq-shim AM throughput)")
+	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement), am (handler vs cq-shim AM throughput), or agg (coalesced vs naive record throughput + NUMA homing)")
 	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
@@ -157,6 +158,23 @@ func am() {
 	}
 }
 
+func agg() {
+	fmt.Println("== Aggregation: coalesced vs naive 16 B records, local vs cross-NUMA homing ==")
+	iters := *itersFlag
+	for _, plat := range lci.Platforms() {
+		for threads := 1; threads <= *maxPairs; threads *= 2 {
+			for _, mode := range []string{"agg", "naive", "local", "cross"} {
+				r, err := bench.AggRate(plat, threads, iters, mode)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					continue
+				}
+				fmt.Println(r)
+			}
+		}
+	}
+}
+
 func printTable1() {
 	fmt.Println("== Table 1: post_comm paradigm matrix ==")
 	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
@@ -197,6 +215,8 @@ func main() {
 		coll()
 	case "am":
 		am()
+	case "agg":
+		agg()
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)

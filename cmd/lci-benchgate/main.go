@@ -4,7 +4,8 @@
 // test pass — which rewrites the artifacts in the working tree — against
 // the baselines saved from the previous commit, turning the tracked
 // BENCH_fig4.json / BENCH_fig6.json / BENCH_devscale.json /
-// BENCH_numa.json files into a standing performance-regression gate.
+// BENCH_numa.json / BENCH_coll.json / BENCH_am.json / BENCH_agg.json
+// files into a standing performance-regression gate.
 //
 // Usage:
 //

@@ -1,79 +1,82 @@
 // iRPCLib: the paper's §4.2 walkthrough, ported to Go on the first-class
-// active-message API. A minimal RPC library backend over LCI: a remote
-// handler serves incoming RPCs inline from the progress engine (no
-// dispatch queue between the wire and the serving code), a shared
-// send-completion handler frees (here: recycles) message buffers,
-// per-goroutine devices provide threading efficiency, and every thread
-// produces, consumes and progresses communication.
+// active-message API and the per-destination aggregation layer. A minimal
+// RPC library backend over LCI: small RPCs coalesce into eager-sized
+// batches per destination (internal/agg), a remote scatter handler serves
+// each record inline from the progress engine (no dispatch queue between
+// the wire and the serving code), per-goroutine devices provide threading
+// efficiency, and every thread produces, consumes and progresses
+// communication. Buffer "freeing" (Listing 2: send_cb) is the
+// aggregator's own recycling: a flushed buffer is its own completion
+// object and returns to the freelist on transmit completion.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
 
 	"lci"
+	"lci/internal/core"
 )
 
-// backend is the iRPCLib LCI backend of Listing 2.
+const nthreads = 3
+const rpcsPerThread = 5
+
+// backend is the iRPCLib LCI backend of Listing 2, aggregation edition.
 type backend struct {
-	rt       *lci.Runtime
-	shandler lci.Handler // send completion handler (Listing 2: send_cb)
-	rcomp    lci.RComp   // remote-handler handle for incoming RPCs
-	served   atomic.Int64
-	freed    atomic.Int64
+	rt     *lci.Runtime
+	ag     *lci.Aggregator
+	served atomic.Int64
 }
 
-// newBackend wires the backend. serve runs for every delivered RPC —
-// inside device progress, so it must consume the payload synchronously
-// (the buffer is only valid during the call) and must not block.
-func newBackend(rt *lci.Runtime, serve func(src, tag int, payload []byte)) *backend {
+// newBackend wires the backend. serve runs for every delivered RPC
+// record — inside device progress, so it must consume the payload
+// synchronously (the record is only valid during the call) and must not
+// block. Aggregator construction registers the scatter handler;
+// registration order makes the handle symmetric across ranks.
+func newBackend(rt *lci.Runtime, serve func(src int, payload []byte)) *backend {
 	b := &backend{rt: rt}
-	// Source-side completion: "free" the buffer once the send is done.
-	b.shandler = func(lci.Status) { b.freed.Add(1) }
-	// Remote handler: the RPC dispatch itself. Registration order makes
-	// the handle symmetric across ranks.
-	b.rcomp = rt.RegisterHandler(func(st lci.Status) {
-		serve(st.Rank, st.Tag, st.Buffer)
+	b.ag = rt.NewAggregator(func(src int, rec []byte) {
+		serve(src, rec)
 		b.served.Add(1)
-	})
+	}, lci.AggConfig{})
 	return b
 }
 
-// sendMsg posts an RPC (Listing 2: send_msg). It reports false when the
-// runtime asks for a retry — the upper layer can do something meaningful
-// meanwhile (poll other queues, aggregate, ...).
-func (b *backend) sendMsg(dev *lci.Device, rank int, buf []byte, tag int) (bool, error) {
-	st, err := b.rt.PostAM(rank, buf, b.rcomp,
-		lci.WithTag(tag), lci.WithLocalComp(b.shandler), lci.WithDevice(dev))
-	if err != nil {
-		return false, err
+// sendMsg hands one small RPC to the peer's aggregation buffers
+// (Listing 2: send_msg, now coalescing). ErrAggBusy is the backpressure
+// contract made first-class: every buffer for the destination is in
+// flight, so the sender polls — draining transmit completions and
+// retrying pending batches — instead of queueing unboundedly.
+func (b *backend) sendMsg(th *lci.AggThread, rank int, msg []byte) error {
+	for {
+		err := b.ag.Append(th, rank, msg)
+		if !errors.Is(err, lci.ErrAggBusy) {
+			return err
+		}
+		b.doBackgroundWork(th)
 	}
-	switch {
-	case st.IsRetry():
-		return false, nil // temporary failure; caller retries
-	case st.IsDone():
-		b.shandler.Signal(st) // immediate completion: invoke send_cb manually
-	}
-	return true, nil
 }
 
-// doBackgroundWork progresses a device (Listing 2: do_background_work);
-// incoming RPCs are served inline from here.
-func (b *backend) doBackgroundWork(dev *lci.Device) { b.rt.ProgressDevice(dev) }
+// doBackgroundWork progresses this thread's device through the
+// aggregator (Listing 2: do_background_work): incoming records are
+// served inline from here, aged buffers seal, pending batches retry.
+func (b *backend) doBackgroundWork(th *lci.AggThread) { b.ag.Poll(th) }
 
 func main() {
-	const nthreads = 3
-	const rpcsPerThread = 5
-	world := lci.NewWorld(2)
+	// The aggregator builds its per-(destination, device) shards over the
+	// device pool at construction, so the pool is sized up front rather
+	// than grown per thread.
+	world := lci.NewWorld(2, lci.WithRuntimeConfig(core.Config{NumDevices: nthreads}))
 	defer world.Close()
 
 	err := world.Launch(func(rt *lci.Runtime) error {
-		b := newBackend(rt, func(src, tag int, payload []byte) {
+		b := newBackend(rt, func(src int, payload []byte) {
 			// Handler context: consume synchronously, don't block. Real
 			// RPC libraries parse and dispatch the request right here.
-			if rt.Rank() == 0 && tag == 0 {
+			if rt.Rank() == 0 {
 				fmt.Printf("rank 0 serving RPC from rank %d: %q\n", src, payload)
 			}
 		})
@@ -81,32 +84,29 @@ func main() {
 			return err
 		}
 		peer := 1 - rt.Rank()
+		const expect = nthreads * rpcsPerThread
 
 		var wg sync.WaitGroup
 		for t := 0; t < nthreads; t++ {
 			wg.Add(1)
 			go func(t int) {
 				defer wg.Done()
-				// thread_init: a device per thread.
-				dev, err := rt.NewDevice()
-				if err != nil {
-					log.Fatal(err)
-				}
-				defer dev.Close()
-
-				sent := 0
-				for b.served.Load() < nthreads*rpcsPerThread || sent < rpcsPerThread {
-					if sent < rpcsPerThread {
-						payload := fmt.Sprintf("rpc %d from rank %d thread %d", sent, rt.Rank(), t)
-						ok, err := b.sendMsg(dev, peer, []byte(payload), t)
-						if err != nil {
-							log.Fatal(err)
-						}
-						if ok {
-							sent++
-						}
+				// thread_init: an aggregation handle on this thread's device.
+				th := b.ag.ThreadOn(t)
+				for i := 0; i < rpcsPerThread; i++ {
+					msg := fmt.Sprintf("rpc %d from rank %d thread %d", i, rt.Rank(), t)
+					if err := b.sendMsg(th, peer, []byte(msg)); err != nil {
+						log.Fatal(err)
 					}
-					b.doBackgroundWork(dev)
+				}
+				// Explicit flush before shutdown: a handful of RPCs never
+				// fills a buffer, and the stragglers would otherwise leave
+				// only on the age trigger. Flush seals and posts every
+				// buffer and drives progress until all are home — nothing
+				// relies on implicit drain.
+				b.ag.Flush(th)
+				for b.served.Load() < expect {
+					b.doBackgroundWork(th)
 				}
 			}(t)
 		}
@@ -114,8 +114,7 @@ func main() {
 		if err := rt.Barrier(); err != nil {
 			return err
 		}
-		fmt.Printf("rank %d: served %d RPCs, freed %d send buffers\n",
-			rt.Rank(), b.served.Load(), b.freed.Load())
+		fmt.Printf("rank %d: served %d aggregated RPCs\n", rt.Rank(), b.served.Load())
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,72 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lci"
+	"lci/internal/bench"
+)
+
+// TestAggShape is the standing aggregation gate, guarding the two claims
+// the layer exists for. First, coalescing: pushing 16-byte records
+// through internal/agg (one eager post per full batch) must beat naive
+// per-record PostAM by at least 3x in delivered-record rate at 8 threads
+// — the amortized doorbell/per-packet costs are the margin. Second, NUMA
+// homing: with the platform topology applied, device-local buffer homing
+// (HomeDevice) must beat the adversarial farthest-domain homing
+// (HomeFarthest) by at least 1.2x — the modeled remote-memory append
+// penalty is the margin. Measured points go to BENCH_agg.json, which
+// cmd/lci-benchgate gates against the committed baseline.
+func TestAggShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregation comparison is not short")
+	}
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
+	}
+	const threads = 8
+	// The aggregated modes move records cheaply, so they need volume for
+	// the modeled per-record costs to dominate scheduler noise; naive pays
+	// the full per-message NIC cost and is slow but stable at low volume.
+	const itersAgg, itersNaive = 50000, 4000
+	run := func(mode string, iters int) bench.AggResult {
+		// Best-of-3: on small (even single-core) CI machines the wall
+		// clock of one run is dominated by which spinning goroutine holds
+		// the core, not by the path under test; the best run is the one
+		// with the least scheduler interference.
+		var best bench.AggResult
+		for rep := 0; rep < 3; rep++ {
+			r, err := bench.AggRate(lci.SimExpanse(), threads, iters, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.RateMps > best.RateMps {
+				best = r
+			}
+		}
+		t.Logf("%v", best)
+		return best
+	}
+	var agg, naive, local, cross bench.AggResult
+	// Scheduler noise occasionally craters a whole measurement round;
+	// re-measure once before declaring a regression.
+	for attempt := 0; attempt < 2; attempt++ {
+		agg, naive = run("agg", itersAgg), run("naive", itersNaive)
+		local, cross = run("local", itersAgg), run("cross", itersAgg)
+		if agg.RateMps >= 3*naive.RateMps && local.RateMps >= 1.2*cross.RateMps {
+			break
+		}
+	}
+	meta := bench.Meta{Threads: threads, Platform: lci.SimExpanse().Name}
+	if err := bench.WriteJSON("agg", meta, []bench.AggResult{agg, naive, local, cross}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
+	if agg.RateMps < 3*naive.RateMps {
+		t.Errorf("expected aggregated record rate >= 3x naive per-record posts, got %.3f vs %.3f Mrec/s (%.2fx)",
+			agg.RateMps, naive.RateMps, agg.RateMps/naive.RateMps)
+	}
+	if local.RateMps < 1.2*cross.RateMps {
+		t.Errorf("expected local buffer homing >= 1.2x cross-NUMA homing, got %.3f vs %.3f Mrec/s (%.2fx)",
+			local.RateMps, cross.RateMps, local.RateMps/cross.RateMps)
+	}
+}

@@ -9,13 +9,13 @@ import (
 	"time"
 
 	"lci/internal/rpc"
-	"lci/internal/spin"
 )
 
-// Message kinds on the wire.
+// Message kinds on the wire. Batch kinds tag individual records on the
+// rpc.RecordSender path; done/barrier kinds travel as raw control sends.
 const (
-	kindBatch1  = 1 + iota // pass-1 k-mer batch (Bloom inserts)
-	kindBatch2             // pass-2 k-mer batch (map counting)
+	kindBatch1  = 1 + iota // pass-1 k-mer record (Bloom insert)
+	kindBatch2             // pass-2 k-mer record (map counting)
 	kindDone1              // pass-1 completion: total k-mers sent to you
 	kindDone2              // pass-2 completion
 	kindBarrier            // inter-pass barrier token
@@ -61,13 +61,6 @@ type Result struct {
 	BloomFPish int64           // k-mers counted exactly once (Bloom false-positive proxy)
 }
 
-type aggBuf struct {
-	mu  spin.Mutex
-	buf []byte
-	n   int
-	_   spin.Pad
-}
-
 type app struct {
 	cfg   Config
 	tr    rpc.Transport
@@ -78,7 +71,7 @@ type app struct {
 	bloom *Bloom
 	cmap  *CountMap
 
-	aggs []*aggBuf // per destination rank
+	rs rpc.RecordSender // aggregated k-mer record path over tr
 
 	pass      atomic.Int32
 	recvCount [2]atomic.Int64 // k-mers received per pass
@@ -117,13 +110,12 @@ func Run(tr rpc.Transport, cfg Config) (Result, error) {
 	expectedKmers := (cfg.Reads.NumReads*kmersPerRead)/a.n + 1
 	a.bloom = NewBloom(uint64(expectedKmers*cfg.BloomBitsPerKmer), 4)
 	a.cmap = NewCountMap(expectedKmers)
-	a.aggs = make([]*aggBuf, a.n)
-	for i := range a.aggs {
-		a.aggs[i] = &aggBuf{buf: make([]byte, 0, cfg.AggBytes)}
-	}
 	a.sentTo = make([]atomic.Int64, a.n)
 
-	tr.SetSink(a.sink)
+	// K-mer batches ride the aggregated record path (internal/agg on the
+	// LCI transport, the generic coalescer elsewhere); done/barrier
+	// control messages stay on raw sends into a.sink.
+	a.rs = rpc.Records(tr, cfg.AggBytes, a.record, a.sink)
 
 	start := time.Now()
 	a.runPass(1)
@@ -149,22 +141,24 @@ func Run(tr rpc.Transport, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// sink handles one arrived payload. It must be thread-safe: any worker
-// (LCI) or the polling thread (GASNet) may invoke it.
+// record handles one arrived k-mer record ([kind][16-byte k-mer]). It
+// must be thread-safe: any worker (LCI) or the polling thread (GASNet)
+// may invoke it, and the record is only valid during the call.
+func (a *app) record(src int, rec []byte) {
+	_ = src
+	pass := 0
+	if rec[0] == kindBatch2 {
+		pass = 1
+	}
+	a.insert(FromBytes(rec[1:]), pass)
+	a.recvCount[pass].Add(1)
+}
+
+// sink handles one arrived raw (control) payload. It must be
+// thread-safe: any worker (LCI) or the polling thread (GASNet) may
+// invoke it.
 func (a *app) sink(src int, payload []byte) {
 	switch payload[0] {
-	case kindBatch1, kindBatch2:
-		n := int(binary.LittleEndian.Uint32(payload[1:]))
-		body := payload[5:]
-		pass := 0
-		if payload[0] == kindBatch2 {
-			pass = 1
-		}
-		for i := 0; i < n; i++ {
-			km := FromBytes(body[i*kmerBytes:])
-			a.insert(km, pass)
-		}
-		a.recvCount[pass].Add(int64(n))
 	case kindDone1:
 		a.expected[0].Add(int64(binary.LittleEndian.Uint64(payload[1:])))
 		a.dones[0].Add(1)
@@ -191,56 +185,15 @@ func (a *app) insert(km Kmer, pass int) {
 	}
 }
 
-// takeLocked drains agg into a wire payload; caller holds g.mu. Returns
-// nil when empty.
-func takeLocked(g *aggBuf, kind byte) (payload []byte, count int) {
-	if g.n == 0 {
-		return nil, 0
-	}
-	payload = make([]byte, 5+len(g.buf))
-	payload[0] = kind
-	binary.LittleEndian.PutUint32(payload[1:], uint32(g.n))
-	copy(payload[5:], g.buf)
-	count = g.n
-	g.buf = g.buf[:0]
-	g.n = 0
-	return payload, count
-}
-
-// flush sends agg's remaining contents (end-of-pass stragglers).
-func (a *app) flush(dst, tid int, kind byte) {
-	g := a.aggs[dst]
-	g.mu.Lock()
-	payload, count := takeLocked(g, kind)
-	g.mu.Unlock()
-	if payload == nil {
-		return
-	}
-	a.tr.Send(dst, payload, tid)
-	a.sentTo[dst].Add(int64(count))
-}
-
-// add appends a k-mer to dst's aggregation buffer. When the buffer fills
-// it is drained into a payload under the same lock hold — draining after
-// re-locking would let concurrent appenders grow it past the transport's
-// maximum message size.
+// add hands one k-mer to dst's aggregated record path. SendRecord
+// coalesces per destination and blocks (with internal progress) rather
+// than queue unboundedly, so the count is final once it returns.
 func (a *app) add(dst int, km Kmer, tid int, kind byte) {
-	g := a.aggs[dst]
-	var payload []byte
-	var count int
-	g.mu.Lock()
-	var tmp [kmerBytes]byte
-	km.Bytes(tmp[:])
-	g.buf = append(g.buf, tmp[:]...)
-	g.n++
-	if 5+len(g.buf)+kmerBytes > a.cfg.AggBytes {
-		payload, count = takeLocked(g, kind)
-	}
-	g.mu.Unlock()
-	if payload != nil {
-		a.tr.Send(dst, payload, tid)
-		a.sentTo[dst].Add(int64(count))
-	}
+	var rec [1 + kmerBytes]byte
+	rec[0] = kind
+	km.Bytes(rec[1:])
+	a.rs.SendRecord(dst, rec[:], tid)
+	a.sentTo[dst].Add(1)
 }
 
 // runPass executes one traversal of the local reads.
@@ -307,12 +260,10 @@ func (a *app) runPass(pass int) {
 	}
 	wg.Wait()
 
-	// Flush stragglers and announce totals.
-	for dst := 0; dst < a.n; dst++ {
-		if dst != a.rank {
-			a.flush(dst, 0, kind)
-		}
-	}
+	// Flush stragglers (every destination, waiting for in-flight batch
+	// buffers on the LCI path), then announce totals — the done counts
+	// must not overtake the records they describe.
+	a.rs.FlushRecords(0)
 	for dst := 0; dst < a.n; dst++ {
 		if dst == a.rank {
 			continue

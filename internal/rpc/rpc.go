@@ -50,6 +50,12 @@ type LCITransport struct {
 	devs   []*lci.Device
 	sink   atomic.Pointer[func(int, []byte)]
 	served atomic.Int64
+
+	// Record path (set up by Records → initRecords): the internal/agg
+	// coalescing layer over the same device pool, one aggregation
+	// thread handle per worker thread, bound to that worker's device.
+	agg *lci.Aggregator
+	ths []*lci.AggThread
 }
 
 // NewLCITransport builds the transport for one rank with nthreads worker
@@ -99,7 +105,14 @@ func (t *LCITransport) Send(dst int, payload []byte, tid int) {
 
 func (t *LCITransport) Serve(tid int) int {
 	before := t.served.Load()
-	t.devs[tid].Progress()
+	if t.agg != nil {
+		// Polling through the aggregator progresses the same device and
+		// additionally advances the age-flush epoch and retries pending
+		// (transmit-queue-refused) batches for this thread's column.
+		t.agg.Poll(t.ths[tid])
+	} else {
+		t.devs[tid].Progress()
+	}
 	return int(t.served.Load() - before)
 }
 

@@ -158,6 +158,24 @@ func (t *Topology) Distance(a, b int) int {
 	return t.dist[a][b]
 }
 
+// Farthest returns the domain with the greatest distance from `from` —
+// the adversary choice used by worst-case placement and buffer-homing
+// measurements. Ties resolve to the lowest domain index; a single-domain
+// (or nil) topology, or an out-of-range `from`, returns `from` unchanged
+// so callers degrade to "no adversary available".
+func (t *Topology) Farthest(from int) int {
+	if t == nil || from < 0 || from >= len(t.dist) {
+		return from
+	}
+	best, bestD := from, LocalDistance
+	for d := range t.dist {
+		if dist := t.dist[from][d]; dist > bestD {
+			best, bestD = d, dist
+		}
+	}
+	return best
+}
+
 // Hops converts the distance between two domains into penalty units: 0
 // for a local (or unknown) pair, and otherwise the distance excess over
 // local in units of LocalDistance, rounded up — 21 (one QPI/xGMI hop) is

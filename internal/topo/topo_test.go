@@ -99,3 +99,31 @@ func TestNewValidation(t *testing.T) {
 		t.Error("synthetic platform topologies have the wrong domain counts")
 	}
 }
+
+func TestFarthest(t *testing.T) {
+	tp := Uniform(4, 2)
+	if d := tp.Farthest(0); d != 1 {
+		t.Errorf("Farthest(0) on uniform distances = %d, want 1 (lowest remote index)", d)
+	}
+	asym, err := New([]int{0, 1, 2}, [][]int{
+		{10, 21, 32},
+		{21, 10, 21},
+		{32, 21, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := asym.Farthest(0); d != 2 {
+		t.Errorf("Farthest(0) = %d, want 2", d)
+	}
+	if d := asym.Farthest(2); d != 0 {
+		t.Errorf("Farthest(2) = %d, want 0", d)
+	}
+	if d := SingleDomain(4).Farthest(0); d != 0 {
+		t.Errorf("single-domain Farthest = %d, want 0", d)
+	}
+	var nilTopo *Topology
+	if d := nilTopo.Farthest(3); d != 3 {
+		t.Errorf("nil-topology Farthest = %d, want the input", d)
+	}
+}
