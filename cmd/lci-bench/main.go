@@ -12,6 +12,7 @@
 //	lci-bench -mode coll            # graph-driven collective latency + placement
 //	lci-bench -mode am              # handler vs cq-shim AM throughput
 //	lci-bench -mode agg             # coalesced vs naive record throughput + homing
+//	lci-bench -mode rankscale       # latency sweep to 256 ranks + sparse connectivity
 //	lci-bench -table1 -platforms
 package main
 
@@ -28,7 +29,7 @@ import (
 
 var (
 	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
-	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement), am (handler vs cq-shim AM throughput), or agg (coalesced vs naive record throughput + NUMA homing)")
+	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement), am (handler vs cq-shim AM throughput), agg (coalesced vs naive record throughput + NUMA homing), or rankscale (p2p/collective latency at 8..256 ranks + sparse-connectivity stats)")
 	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
@@ -175,6 +176,35 @@ func agg() {
 	}
 }
 
+func rankscale() {
+	fmt.Println("== Rank scaling: p2p / barrier / 8 B allreduce latency, 8..256 ranks ==")
+	for _, plat := range lci.Platforms() {
+		for _, ranks := range []int{8, 32, 128, 256} {
+			iters := 20
+			if ranks >= 128 {
+				iters = 10
+			}
+			rows, err := bench.RankScale(plat, ranks, iters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+		}
+	}
+	fmt.Println("== Rank scaling: sparse connectivity (256 ranks, 8 peers each) ==")
+	for _, plat := range lci.Platforms() {
+		st, err := bench.RankScaleSparse(plat, 256, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		fmt.Println(st)
+	}
+}
+
 func printTable1() {
 	fmt.Println("== Table 1: post_comm paradigm matrix ==")
 	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
@@ -217,6 +247,8 @@ func main() {
 		am()
 	case "agg":
 		agg()
+	case "rankscale":
+		rankscale()
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)

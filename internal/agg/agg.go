@@ -172,12 +172,43 @@ type shard struct {
 	_     spin.Pad
 }
 
-// column is one device's row of shards (one per destination) plus the
-// domain its buffers are homed on.
+// column is one device's row of shards (one per contacted destination)
+// plus the domain its buffers are homed on. Shards — and their
+// BufsPerDest×BufBytes of buffer memory — materialize on the first append
+// toward a destination, so a rank that talks to 8 of 256 peers allocates
+// 8 shards per column, not 256; only the pointer-slot index is O(ranks).
 type column struct {
 	dev    *core.Device
 	home   int // NUMA domain the column's buffers are homed on
-	shards []*shard
+	shards []atomic.Pointer[shard]
+}
+
+// shard returns dest's shard, allocating it (and its buffers) on first
+// use; the first appender wins the CAS race, losers adopt its shard.
+func (col *column) shard(ag *Aggregator, dest int) *shard {
+	if sh := col.shards[dest].Load(); sh != nil {
+		return sh
+	}
+	sh := &shard{ag: ag, dev: col.dev, dest: dest}
+	sh.free = make([]*buffer, ag.cfg.BufsPerDest)
+	for k := range sh.free {
+		sh.free[k] = &buffer{sh: sh, data: make([]byte, 0, ag.cfg.BufBytes)}
+	}
+	if col.shards[dest].CompareAndSwap(nil, sh) {
+		return sh
+	}
+	return col.shards[dest].Load()
+}
+
+// each visits every materialized shard of the column (progress and flush
+// paths iterate contacted destinations only, never all NumRanks slots'
+// worth of shard state).
+func (col *column) each(fn func(sh *shard)) {
+	for i := range col.shards {
+		if sh := col.shards[i].Load(); sh != nil {
+			fn(sh)
+		}
+	}
 }
 
 // Aggregator is a per-rank aggregation layer over the runtime's device
@@ -194,9 +225,9 @@ type Aggregator struct {
 }
 
 // New builds an aggregator over rt's current device pool (one shard
-// column per pool device, one shard per destination rank) and registers
-// its scatter handler. All ranks must call New at the same point in their
-// registration sequence with the same shape.
+// column per pool device; shards materialize per destination on first
+// append) and registers its scatter handler. All ranks must call New at
+// the same point in their registration sequence with the same shape.
 func New(rt *core.Runtime, sink Sink, cfg Config) *Aggregator {
 	if sink == nil {
 		panic("agg: New requires a sink")
@@ -212,16 +243,7 @@ func New(rt *core.Runtime, sink Sink, cfg Config) *Aggregator {
 		if cfg.Homing == HomeFarthest && home >= 0 {
 			home = t.Farthest(home)
 		}
-		col := &column{dev: dev, home: home, shards: make([]*shard, rt.NumRanks())}
-		for dest := range col.shards {
-			sh := &shard{ag: ag, dev: dev, dest: dest}
-			sh.free = make([]*buffer, cfg.BufsPerDest)
-			for k := range sh.free {
-				sh.free[k] = &buffer{sh: sh, data: make([]byte, 0, cfg.BufBytes)}
-			}
-			col.shards[dest] = sh
-		}
-		ag.cols[i] = col
+		ag.cols[i] = &column{dev: dev, home: home, shards: make([]atomic.Pointer[shard], rt.NumRanks())}
 	}
 	return ag
 }
@@ -280,7 +302,7 @@ func (ag *Aggregator) Append(t *Thread, dest int, rec []byte) error {
 	if flen > ag.cfg.BufBytes {
 		return ErrRecordTooLarge
 	}
-	sh := t.col.shards[dest]
+	sh := t.col.shard(ag, dest)
 	if t.penPerLine > 0 {
 		// The homing model: a remote-homed buffer costs the producer one
 		// cross-domain transfer per cache line the record dirties.
@@ -400,11 +422,11 @@ func (sh *shard) takePending() []*buffer {
 
 // retryPending re-posts every parked buffer of the thread's column once.
 func (ag *Aggregator) retryPending(t *Thread, col *column) {
-	for _, sh := range col.shards {
+	col.each(func(sh *shard) {
 		for _, b := range sh.takePending() {
 			sh.post(b, t) // may re-park; that's the next round's problem
 		}
-	}
+	})
 }
 
 // Poll is the aggregator's progress call: it advances the age epoch,
@@ -416,7 +438,7 @@ func (ag *Aggregator) retryPending(t *Thread, col *column) {
 func (ag *Aggregator) Poll(t *Thread) int {
 	e := ag.epoch.Add(1)
 	age := uint64(ag.cfg.FlushAge)
-	for _, sh := range t.col.shards {
+	t.col.each(func(sh *shard) {
 		sh.mu.Lock()
 		aged := sh.cur != nil && len(sh.cur.data) > 0 && e-sh.birth >= age
 		sh.mu.Unlock()
@@ -425,7 +447,7 @@ func (ag *Aggregator) Poll(t *Thread) int {
 				sh.post(b, t)
 			}
 		}
-	}
+	})
 	ag.retryPending(t, t.col)
 	return t.col.dev.ProgressW(t.w)
 }
@@ -434,7 +456,10 @@ func (ag *Aggregator) Poll(t *Thread) int {
 // device and retries anything the network previously refused. It does not
 // wait for acceptance or delivery; use Flush for a draining barrier.
 func (ag *Aggregator) FlushDest(t *Thread, dest int) {
-	sh := t.col.shards[dest]
+	sh := t.col.shards[dest].Load()
+	if sh == nil {
+		return // never appended toward dest: nothing queued
+	}
 	if b := sh.seal(); b != nil {
 		sh.post(b, t)
 	}
@@ -455,11 +480,11 @@ func (ag *Aggregator) FlushDest(t *Thread, dest int) {
 // amortized path, so that is the right trade.
 func (ag *Aggregator) Flush(t *Thread) {
 	for _, col := range ag.cols {
-		for _, sh := range col.shards {
+		col.each(func(sh *shard) {
 			if b := sh.seal(); b != nil {
 				sh.post(b, t)
 			}
-		}
+		})
 	}
 	for !ag.idle(t) {
 		for _, col := range ag.cols {
@@ -473,7 +498,11 @@ func (ag *Aggregator) Flush(t *Thread) {
 // freelist (nothing queued, pending, or in flight).
 func (ag *Aggregator) idle(t *Thread) bool {
 	for _, col := range ag.cols {
-		for _, sh := range col.shards {
+		for i := range col.shards {
+			sh := col.shards[i].Load()
+			if sh == nil {
+				continue
+			}
 			sh.mu.Lock()
 			free := len(sh.free)
 			curEmpty := sh.cur == nil || len(sh.cur.data) == 0
@@ -497,7 +526,7 @@ func (ag *Aggregator) idle(t *Thread) bool {
 func (ag *Aggregator) QueuedBytes() int {
 	total := 0
 	for _, col := range ag.cols {
-		for _, sh := range col.shards {
+		col.each(func(sh *shard) {
 			sh.mu.Lock()
 			if sh.cur != nil {
 				total += len(sh.cur.data)
@@ -506,7 +535,7 @@ func (ag *Aggregator) QueuedBytes() int {
 				total += len(b.data)
 			}
 			sh.mu.Unlock()
-		}
+		})
 	}
 	return total
 }

@@ -25,6 +25,11 @@ type Meta struct {
 	Devices int `json:"devices,omitempty"`
 	// Platform names the simulated platform (SimExpanse / SimDelta).
 	Platform string `json:"platform,omitempty"`
+	// Ranks is the simulated world size when the whole artifact was
+	// measured at one rank count, or the largest swept rank count when the
+	// artifact sweeps world sizes (BENCH_rankscale.json does the latter;
+	// per-row counts live in each result's Ranks field).
+	Ranks int `json:"ranks,omitempty"`
 	// Domains is the NUMA domain count of the synthetic topology when the
 	// whole artifact was measured at one (BENCH_numa.json).
 	Domains int `json:"domains,omitempty"`

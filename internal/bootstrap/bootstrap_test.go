@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"time"
+
 	"lci/internal/bootstrap"
 )
 
@@ -118,5 +120,91 @@ func TestFileLockOversubscription(t *testing.T) {
 	defer a.Close()
 	if _, err := bootstrap.NewFileLock(dir, 1); err == nil {
 		t.Fatal("second claimant for a 1-rank group succeeded")
+	}
+}
+
+// TestInProcLargeNOutOfOrder drives a 256-rank bootstrap with ranks
+// arriving in a scrambled order and at staggered times: every rank
+// publishes its address, reads a sparse neighborhood (not all-to-all —
+// the rank-scaling usage pattern), and crosses two barrier epochs. The
+// KVS blocking Get must tolerate readers arriving long before writers.
+func TestInProcLargeNOutOfOrder(t *testing.T) {
+	const n = 256
+	group := bootstrap.InProc(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// 97 is coprime with 256: a full scrambled permutation of launch
+		// order, so rank k's goroutine rarely starts near rank k±1's.
+		b := group[(i*97)%n]
+		wg.Add(1)
+		go func(b *bootstrap.InProcRank) {
+			defer wg.Done()
+			if b.Rank()%3 == 0 {
+				time.Sleep(time.Duration(b.Rank()%11) * 100 * time.Microsecond)
+			}
+			// Read the sparse neighborhood first on half the ranks:
+			// deliberate reader-before-writer arrivals.
+			read := func() {
+				for off := 1; off <= 8; off++ {
+					r := (b.Rank() + off) % n
+					v, err := b.Get(fmt.Sprintf("addr.%d", r))
+					if err != nil || v != fmt.Sprintf("ep-%d", r) {
+						t.Errorf("rank %d: Get(addr.%d) = %q, %v", b.Rank(), r, v, err)
+					}
+				}
+			}
+			if b.Rank()%2 == 0 {
+				if err := b.Put(fmt.Sprintf("addr.%d", b.Rank()), fmt.Sprintf("ep-%d", b.Rank())); err != nil {
+					t.Error(err)
+				}
+				read()
+			} else {
+				done := make(chan struct{})
+				go func() { read(); close(done) }()
+				if err := b.Put(fmt.Sprintf("addr.%d", b.Rank()), fmt.Sprintf("ep-%d", b.Rank())); err != nil {
+					t.Error(err)
+				}
+				<-done
+			}
+			for k := 0; k < 2; k++ {
+				if err := b.Barrier(); err != nil {
+					t.Errorf("rank %d: barrier %d: %v", b.Rank(), k, err)
+					return
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// TestFileLockDuplicateJoinAndRejoin checks the duplicate-join error on
+// a full group and that Close releases the rank slot for a successor —
+// the restart path a crashed rank's replacement takes.
+func TestFileLockDuplicateJoinAndRejoin(t *testing.T) {
+	dir := t.TempDir()
+	const n = 2
+	a, err := bootstrap.NewFileLock(dir, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := bootstrap.NewFileLock(dir, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bootstrap.NewFileLock(dir, n); err == nil {
+		t.Fatal("join of a full group succeeded, want all-ranks-claimed error")
+	}
+	freed := b.Rank()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := bootstrap.NewFileLock(dir, n)
+	if err != nil {
+		t.Fatalf("rejoin after Close failed: %v", err)
+	}
+	defer c.Close()
+	if c.Rank() != freed {
+		t.Errorf("rejoiner claimed rank %d, want the freed slot %d", c.Rank(), freed)
 	}
 }

@@ -227,6 +227,12 @@ func (d *Device) Stats() (rounds, comps int64) {
 // traffic really strips across the pool.
 func (d *Device) NetStats() fabric.Stats { return d.net.Stats() }
 
+// ConnectedPeers reports how many peers this device's backend has
+// established provider state toward (ibv QPs / ofi address-vector
+// entries). Establishment is connect-on-first-use, so after a sparse
+// workload this tracks the peers actually posted to, not NumRanks.
+func (d *Device) ConnectedPeers() int { return d.net.ConnectedPeers() }
+
 // handleCompletion reacts to one network completion.
 func (d *Device) handleCompletion(c *network.Completion, w *packet.Worker) {
 	switch c.Kind {

@@ -32,6 +32,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -157,16 +158,28 @@ type rankState struct {
 	memMu    spin.Mutex
 	regions  map[uint64]memRegion
 	rmaBytes atomic.Int64
+
+	// Establishment bookkeeping: the set of peer ranks this rank's
+	// providers have lazily connected to (ibv QPs, ofi AV entries).
+	// Written once per (rank, peer) on the providers' connect slow path,
+	// so a plain map under a mutex costs nothing on the data path.
+	peerMu spin.Mutex
+	peers  map[int]struct{}
 }
 
-// Fabric connects the endpoints of one simulated cluster.
+// Fabric connects the endpoints of one simulated cluster. Rank state is
+// allocated lazily, on the first endpoint/registration/traffic touching a
+// rank, so a mostly-idle large world costs memory proportional to the
+// ranks actually participating — only the pointer-slot index is O(ranks).
 type Fabric struct {
 	cfg     Config
-	ranks   []*rankState
+	ranks   []atomic.Pointer[rankState]
+	nActive atomic.Int64
 	nextKey atomic.Uint64
 }
 
-// New creates a fabric for cfg.NumRanks ranks with no endpoints yet.
+// New creates a fabric for cfg.NumRanks ranks with no endpoints and no
+// per-rank state yet; rank state materializes on first use.
 func New(cfg Config) *Fabric {
 	if cfg.NumRanks < 1 {
 		panic("fabric: NumRanks must be >= 1")
@@ -174,14 +187,7 @@ func New(cfg Config) *Fabric {
 	if cfg.PendingCap <= 0 {
 		cfg.PendingCap = 1024
 	}
-	f := &Fabric{cfg: cfg, ranks: make([]*rankState, cfg.NumRanks)}
-	for i := range f.ranks {
-		f.ranks[i] = &rankState{
-			eps:     mpmc.NewArray[*Endpoint](4),
-			regions: make(map[uint64]memRegion),
-		}
-	}
-	return f
+	return &Fabric{cfg: cfg, ranks: make([]atomic.Pointer[rankState], cfg.NumRanks)}
 }
 
 // NumRanks returns the number of ranks.
@@ -196,11 +202,80 @@ func (f *Fabric) Topology() *topo.Topology {
 	return f.cfg.Topo
 }
 
+// rank returns r's state, allocating it on first touch (CAS race: the
+// first caller wins, losers adopt the winner's state).
 func (f *Fabric) rank(r int) *rankState {
+	if rs := f.peek(r); rs != nil {
+		return rs
+	}
+	rs := &rankState{
+		eps:     mpmc.NewArray[*Endpoint](4),
+		regions: make(map[uint64]memRegion),
+	}
+	if f.ranks[r].CompareAndSwap(nil, rs) {
+		f.nActive.Add(1)
+		return rs
+	}
+	return f.ranks[r].Load()
+}
+
+// peek returns r's state without allocating; nil when the rank has never
+// been touched. Stats accessors use it so observing a large world does not
+// itself materialize the world.
+func (f *Fabric) peek(r int) *rankState {
 	if r < 0 || r >= len(f.ranks) {
 		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", r, len(f.ranks)))
 	}
-	return f.ranks[r]
+	return f.ranks[r].Load()
+}
+
+// ActiveRanks reports how many ranks have materialized state (endpoints,
+// registrations, or inbound traffic).
+func (f *Fabric) ActiveRanks() int { return int(f.nActive.Load()) }
+
+// NoteEstablish records that src's provider established connection state
+// (a QP, an address-vector entry) toward dst. Providers call it once per
+// (device, peer) on their lazy-connect slow path; the fabric aggregates to
+// distinct peers per rank.
+func (f *Fabric) NoteEstablish(src, dst int) {
+	rs := f.rank(src)
+	rs.peerMu.Lock()
+	if rs.peers == nil {
+		rs.peers = make(map[int]struct{})
+	}
+	rs.peers[dst] = struct{}{}
+	rs.peerMu.Unlock()
+}
+
+// ConnectedPeers reports how many distinct peer ranks rank's providers
+// have established connection state toward — the sparsity bound the
+// rank-scaling gate asserts on (contacted peers, not NumRanks).
+func (f *Fabric) ConnectedPeers(rank int) int {
+	rs := f.peek(rank)
+	if rs == nil {
+		return 0
+	}
+	rs.peerMu.Lock()
+	n := len(rs.peers)
+	rs.peerMu.Unlock()
+	return n
+}
+
+// PeerRanks returns the distinct peer ranks rank has established
+// connection state toward, in ascending order (diagnostics and tests).
+func (f *Fabric) PeerRanks(rank int) []int {
+	rs := f.peek(rank)
+	if rs == nil {
+		return nil
+	}
+	rs.peerMu.Lock()
+	out := make([]int, 0, len(rs.peers))
+	for p := range rs.peers {
+		out = append(out, p)
+	}
+	rs.peerMu.Unlock()
+	sort.Ints(out)
+	return out
 }
 
 // NewEndpoint creates and registers a new endpoint for rank.
@@ -215,18 +290,33 @@ func (f *Fabric) NewEndpoint(rank int) *Endpoint {
 }
 
 // NumEndpoints reports how many endpoints rank has registered.
-func (f *Fabric) NumEndpoints(rank int) int { return f.rank(rank).eps.Len() }
+func (f *Fabric) NumEndpoints(rank int) int {
+	rs := f.peek(rank)
+	if rs == nil {
+		return 0
+	}
+	return rs.eps.Len()
+}
 
 // Endpoint returns rank's idx-th endpoint (diagnostics; panics when out of
 // range, matching slice semantics).
-func (f *Fabric) Endpoint(rank, idx int) *Endpoint { return f.rank(rank).eps.Get(idx) }
+func (f *Fabric) Endpoint(rank, idx int) *Endpoint {
+	rs := f.peek(rank)
+	if rs == nil {
+		panic(fmt.Sprintf("fabric: rank %d has no endpoints", rank))
+	}
+	return rs.eps.Get(idx)
+}
 
 // RankStats sums the counters of every endpoint of rank — the per-device
 // traffic split multi-device gates assert on (striping must actually
 // spread messages across endpoints, not funnel them through one).
 func (f *Fabric) RankStats(rank int) Stats {
 	var agg Stats
-	rs := f.rank(rank)
+	rs := f.peek(rank)
+	if rs == nil {
+		return agg
+	}
 	for i, n := 0, rs.eps.Len(); i < n; i++ {
 		s := rs.eps.Get(i).Stats()
 		agg.Msgs += s.Msgs
@@ -244,7 +334,10 @@ func (f *Fabric) RankStats(rank int) Stats {
 // resolve picks the target endpoint for (rank, hint): endpoints wrap
 // around, so symmetric jobs address peer device i with hint i.
 func (f *Fabric) resolve(rank, hint int) *Endpoint {
-	rs := f.rank(rank)
+	rs := f.peek(rank)
+	if rs == nil {
+		panic(fmt.Sprintf("fabric: rank %d has no endpoints", rank))
+	}
 	n := rs.eps.Len()
 	if n == 0 {
 		panic(fmt.Sprintf("fabric: rank %d has no endpoints", rank))
@@ -374,7 +467,10 @@ func (rs *rankState) region(rank int, rkey uint64) ([]byte, error) {
 // endpoint notifyDev of the target. The byte movement happens on the
 // calling goroutine (the simulated DMA engine).
 func (f *Fabric) Write(dst, notifyDev, src int, rkey, offset uint64, data []byte, imm uint64, hasImm bool) error {
-	rs := f.rank(dst)
+	rs := f.peek(dst)
+	if rs == nil {
+		return fmt.Errorf("fabric: rank %d has no memory region with rkey %d", dst, rkey)
+	}
 	region, err := rs.region(dst, rkey)
 	if err != nil {
 		return err
@@ -398,7 +494,10 @@ func (f *Fabric) Write(dst, notifyDev, src int, rkey, offset uint64, data []byte
 // buffer into. Like Write it is synchronous; the target CPU is not
 // involved, matching RDMA-read semantics.
 func (f *Fabric) Read(dst int, rkey, offset uint64, into []byte) error {
-	rs := f.rank(dst)
+	rs := f.peek(dst)
+	if rs == nil {
+		return fmt.Errorf("fabric: rank %d has no memory region with rkey %d", dst, rkey)
+	}
 	region, err := rs.region(dst, rkey)
 	if err != nil {
 		return err
@@ -432,7 +531,13 @@ func (e *Endpoint) Stats() Stats {
 }
 
 // RMABytes reports total RMA bytes moved into rank's regions.
-func (f *Fabric) RMABytes(rank int) int64 { return f.rank(rank).rmaBytes.Load() }
+func (f *Fabric) RMABytes(rank int) int64 {
+	rs := f.peek(rank)
+	if rs == nil {
+		return 0
+	}
+	return rs.rmaBytes.Load()
+}
 
 // pacerEpoch anchors Pacer timestamps to a process-local monotonic clock.
 var pacerEpoch = time.Now()

@@ -20,6 +20,7 @@ package ibv
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"lci/internal/mpmc"
@@ -89,6 +90,17 @@ type Config struct {
 	// callers whose own domain is known, so topology-oblivious setups pay
 	// nothing. Zero disables the model.
 	CrossDomainNs int
+	// ConnectSetupNs is the one-time cost of establishing the QP to a peer
+	// on first use: address resolution plus the INIT→RTR→RTS state
+	// transitions of an RC queue pair. It is charged exactly once per
+	// (device, peer) by the poster that wins the connect race; racing
+	// posters wait for the transition to finish. Real establishment costs
+	// milliseconds — the modeled value is calibrated like the other knobs
+	// (visible in first-message latency, negligible once amortized), and
+	// exists so lazy establishment is measurable: an eager design would pay
+	// NumRanks× this at device creation. Zero disables the charge (the QP
+	// is still created lazily).
+	ConnectSetupNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,20 +137,29 @@ func (c *Context) Rank() int { return c.rank }
 // NumRanks returns the number of ranks on the fabric.
 func (c *Context) NumRanks() int { return c.fab.NumRanks() }
 
-// qp is a simulated queue pair to one peer.
+// qp is a simulated queue pair to one peer. QPs are established lazily on
+// first post (connect-on-first-use); ready flips once the modeled
+// connection setup (INIT→RTR→RTS) has completed.
 type qp struct {
-	mu  *spin.Mutex // the QP's own spinlock (always present, as in mlx5)
-	td  *spin.Mutex // the uUAR/thread-domain lock this QP maps to
-	dst int
+	mu    *spin.Mutex // the QP's own spinlock (always present, as in mlx5)
+	td    *spin.Mutex // the uUAR/thread-domain lock this QP maps to
+	dst   int
+	ready atomic.Bool
 }
 
-// Device bundles one CQ, one SRQ and one QP per peer — exactly what the
-// LCI ibv backend puts in a network device (§5.2.3).
+// Device bundles one CQ, one SRQ and one lazily-established QP per
+// contacted peer — the LCI ibv backend's network device (§5.2.3), except
+// that where the eager design built NumRanks QPs (and thread-domain locks)
+// up front, QP state here materializes on first use: per-peer memory and
+// setup cost are proportional to the peers actually talked to, which is
+// what lets a 256+ rank world with sparse communication stay lightweight.
+// Only the atomic pointer-slot index is O(ranks).
 type Device struct {
 	ctx     *Context
 	ep      *fabric.Endpoint
-	qps     []*qp
-	tdLocks []*spin.Mutex
+	qps     []atomic.Pointer[qp] // connect-on-first-use slots, first post wins
+	tdLocks []*spin.Mutex        // shared uUAR pool (TDAllQP: 1, TDNone: nUUARs); per-QP under TDPerQP
+	nQPs    atomic.Int32         // established QPs (ConnectedQPs)
 
 	srqMu spin.Mutex // shared receive queue lock
 
@@ -150,7 +171,8 @@ type Device struct {
 	closed atomic.Bool
 }
 
-// NewDevice creates a device (CQ + SRQ + one QP per peer).
+// NewDevice creates a device (CQ + SRQ; QPs are established per peer on
+// first post).
 func (c *Context) NewDevice() *Device {
 	d := &Device{
 		ctx:  c,
@@ -160,7 +182,7 @@ func (c *Context) NewDevice() *Device {
 	d.credits.Store(int32(c.cfg.TxDepth))
 	d.pacer.Init(c.cfg.InjectGapNs)
 
-	n := c.fab.NumRanks()
+	d.qps = make([]atomic.Pointer[qp], c.fab.NumRanks())
 	switch c.cfg.Strategy {
 	case TDAllQP:
 		d.tdLocks = []*spin.Mutex{new(spin.Mutex)}
@@ -169,18 +191,58 @@ func (c *Context) NewDevice() *Device {
 		for i := range d.tdLocks {
 			d.tdLocks[i] = new(spin.Mutex)
 		}
-	default: // TDPerQP
-		d.tdLocks = make([]*spin.Mutex, n)
-		for i := range d.tdLocks {
-			d.tdLocks[i] = new(spin.Mutex)
-		}
-	}
-	d.qps = make([]*qp, n)
-	for i := range d.qps {
-		d.qps[i] = &qp{mu: new(spin.Mutex), td: d.tdLocks[d.tdIndex(i)], dst: i}
+	default: // TDPerQP: each QP carries its own thread-domain lock, built at connect time
 	}
 	return d
 }
+
+// qp returns the established queue pair to dst, connecting on first use.
+func (d *Device) qp(dst int) *qp {
+	if q := d.qps[dst].Load(); q != nil {
+		q.waitReady()
+		return q
+	}
+	return d.connect(dst)
+}
+
+// waitReady blocks until the connect winner finished the modeled setup.
+// The wait is bounded by ConnectSetupNs of busy work on the winner, so
+// yielding (rather than pure spinning) keeps oversubscribed worlds live.
+func (q *qp) waitReady() {
+	for !q.ready.Load() {
+		runtime.Gosched()
+	}
+}
+
+// connect establishes the QP to dst: the first poster wins the CAS race,
+// builds the QP and pays the modeled connection-setup cost exactly once;
+// losers adopt the winner's QP and wait for it to reach RTS.
+func (d *Device) connect(dst int) *qp {
+	q := &qp{mu: new(spin.Mutex), dst: dst}
+	switch d.ctx.cfg.Strategy {
+	case TDAllQP:
+		q.td = d.tdLocks[0]
+	case TDNone:
+		q.td = d.tdLocks[dst%nUUARs]
+	default: // TDPerQP
+		q.td = new(spin.Mutex)
+	}
+	if !d.qps[dst].CompareAndSwap(nil, q) {
+		q = d.qps[dst].Load()
+		q.waitReady()
+		return q
+	}
+	spin.Delay(d.ctx.cfg.ConnectSetupNs)
+	d.nQPs.Add(1)
+	d.ctx.fab.NoteEstablish(d.ctx.rank, dst)
+	q.ready.Store(true)
+	return q
+}
+
+// ConnectedQPs reports how many QPs this device has established — after a
+// sparse workload this is the number of peers actually posted to, not
+// NumRanks (the rank-scaling gate asserts exactly that).
+func (d *Device) ConnectedQPs() int { return int(d.nQPs.Load()) }
 
 func (d *Device) tdIndex(dst int) int {
 	switch d.ctx.cfg.Strategy {
@@ -219,9 +281,16 @@ func (d *Device) CrossDelay(from int) {
 	spin.Delay(h * ns)
 }
 
-// NumSendLocks reports the number of distinct doorbell locks; the LCI
-// try-lock wrapper mirrors this granularity (§5.2.2).
-func (d *Device) NumSendLocks() int { return len(d.tdLocks) }
+// NumSendLocks reports the number of distinct doorbell-lock identities;
+// the LCI try-lock wrapper mirrors this granularity (§5.2.2). Under
+// TDPerQP the identity space is one per peer — like the QPs themselves,
+// the wrapper is expected to materialize locks lazily.
+func (d *Device) NumSendLocks() int {
+	if d.ctx.cfg.Strategy == TDPerQP {
+		return len(d.qps)
+	}
+	return len(d.tdLocks)
+}
 
 // SendLockID maps a destination rank to its doorbell lock index.
 func (d *Device) SendLockID(dst int) int { return d.tdIndex(dst) }
@@ -257,7 +326,7 @@ func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) er
 			return err
 		}
 	}
-	q := d.qps[dst]
+	q := d.qp(dst)
 	q.td.Lock()
 	q.mu.Lock()
 	spin.Delay(d.ctx.cfg.SendOverheadNs)
@@ -288,7 +357,7 @@ func (d *Device) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte,
 		d.pacer.Release()
 		return err
 	}
-	q := d.qps[dst]
+	q := d.qp(dst)
 	q.td.Lock()
 	q.mu.Lock()
 	spin.Delay(d.ctx.cfg.SendOverheadNs)
@@ -313,7 +382,7 @@ func (d *Device) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) er
 		d.pacer.Release()
 		return err
 	}
-	q := d.qps[dst]
+	q := d.qp(dst)
 	q.td.Lock()
 	q.mu.Lock()
 	spin.Delay(d.ctx.cfg.SendOverheadNs)

@@ -1,0 +1,136 @@
+package ibv_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ibv"
+)
+
+// TestConnectRaceSingleQP races many threads posting to the same cold
+// peer: the connect-on-first-use CAS must build exactly one QP, every
+// racing poster must wait for it to reach RTS, and no message may be
+// lost. This is the lazy-establishment hot path under -race.
+func TestConnectRaceSingleQP(t *testing.T) {
+	const threads = 8
+	const perThread = 50
+	const total = threads * perThread
+
+	fab := fabric.New(fabric.Config{NumRanks: 2})
+	// A visible setup cost widens the connect window so losers of the CAS
+	// race actually exercise waitReady rather than finding ready==true.
+	sender := ibv.NewContext(fab, 0, ibv.Config{ConnectSetupNs: 20000}).NewDevice()
+	receiver := ibv.NewContext(fab, 1, ibv.Config{}).NewDevice()
+	for i := 0; i < total; i++ {
+		receiver.PostSRQRecv(make([]byte, 64), i)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			payload := []byte{byte(th)}
+			<-start
+			for m := 0; m < perThread; m++ {
+				for {
+					err := sender.PostSend(1, 0, uint32(th), payload, nil)
+					if err == nil {
+						break
+					}
+					if err != ibv.ErrTxFull {
+						bad.Add(1)
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(th)
+	}
+	close(start)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d posters hit a non-backpressure error", bad.Load())
+	}
+
+	if got := sender.ConnectedQPs(); got != 1 {
+		t.Errorf("racing posters established %d QPs to one peer, want exactly 1", got)
+	}
+	if got := fab.ConnectedPeers(0); got != 1 {
+		t.Errorf("fabric recorded %d established peers for rank 0, want 1", got)
+	}
+	if got := fab.ConnectedPeers(1); got != 0 {
+		t.Errorf("fabric recorded %d established peers for rank 1, which never posted; want 0", got)
+	}
+
+	got := 0
+	var out [64]fabric.Completion
+	deadline := time.Now().Add(30 * time.Second)
+	for got < total {
+		n := receiver.PollCQ(out[:])
+		for i := 0; i < n; i++ {
+			if out[i].Kind == fabric.RxSend {
+				got++
+			}
+		}
+		if n == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("lost ops: receiver drained %d of %d messages", got, total)
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestConnectLazyPerPeer posts to a handful of peers on a wide fabric
+// from concurrent threads and checks QP count tracks contacted peers
+// exactly — never world size — with the thread-domain lock working from
+// the first post under every strategy.
+func TestConnectLazyPerPeer(t *testing.T) {
+	const ranks = 64
+	const contacted = 5
+	for _, strat := range []ibv.TDStrategy{ibv.TDPerQP, ibv.TDAllQP, ibv.TDNone} {
+		fab := fabric.New(fabric.Config{NumRanks: ranks})
+		dev := ibv.NewContext(fab, 0, ibv.Config{Strategy: strat, ConnectSetupNs: 5000}).NewDevice()
+		for r := 1; r <= contacted; r++ { // only contacted ranks need receive-side state
+			ibv.NewContext(fab, r, ibv.Config{}).NewDevice()
+		}
+		var wg sync.WaitGroup
+		for th := 0; th < 4; th++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for dst := 1; dst <= contacted; dst++ {
+					for {
+						err := dev.PostSend(dst, 0, 0, []byte("x"), nil)
+						if err == nil {
+							break
+						}
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := dev.ConnectedQPs(); got != contacted {
+			t.Errorf("strategy %v: %d QPs established, want %d (contacted peers)", strat, got, contacted)
+		}
+		if got := fab.ConnectedPeers(0); got != contacted {
+			t.Errorf("strategy %v: fabric recorded %d peers, want %d", strat, got, contacted)
+		}
+		peers := fab.PeerRanks(0)
+		if len(peers) != contacted || peers[0] != 1 || peers[contacted-1] != contacted {
+			t.Errorf("strategy %v: PeerRanks(0) = %v, want [1..%d]", strat, peers, contacted)
+		}
+		if got := fab.ActiveRanks(); got != contacted+1 {
+			t.Errorf("strategy %v: %d of %d rank states materialized, want %d (sender + contacted)",
+				strat, got, ranks, contacted+1)
+		}
+	}
+}

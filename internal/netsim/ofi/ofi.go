@@ -14,6 +14,7 @@ package ofi
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"lci/internal/mpmc"
@@ -45,6 +46,14 @@ type Config struct {
 	// endpoints bound to a domain by callers whose domain is known; zero
 	// disables the model.
 	CrossDomainNs int
+	// ConnectSetupNs is the one-time cost of resolving a peer on first
+	// use: the fi_av_insert plus provider connection setup an RDM endpoint
+	// pays before its first operation to a new peer. Charged exactly once
+	// per (endpoint, peer) by the poster that wins the resolve race;
+	// racing posters wait for it. Zero disables the charge (the AV entry
+	// is still created lazily). The ibv analogue is
+	// ibv.Config.ConnectSetupNs.
+	ConnectSetupNs int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,16 +114,27 @@ func (d *Domain) regCacheLookup() {
 // was taken for lookups (diagnostics for the Delta-bottleneck analysis).
 func (d *Domain) RegCacheHits() int64 { return d.regHits.Load() }
 
+// peerAddr is a lazily-inserted address-vector entry: ready flips once
+// the modeled fi_av_insert/connection setup has completed.
+type peerAddr struct {
+	ready atomic.Bool
+}
+
 // Endpoint is a libfabric endpoint plus its bound completion queue. One
 // spinlock serializes every operation on it, as in the cxi and verbs
-// providers at FI_THREAD_SAFE.
+// providers at FI_THREAD_SAFE. Peer addresses are resolved lazily on
+// first post (the AV fills with contacted peers, not NumRanks entries),
+// so idle-peer state stays proportional to the peers actually talked to;
+// only the pointer-slot index is O(ranks).
 type Endpoint struct {
 	dom     *Domain
 	ep      *fabric.Endpoint
 	mu      spin.Mutex
 	txEv    *mpmc.Queue[fabric.Completion]
 	credits atomic.Int32
-	pacer   fabric.Pacer // per-endpoint injection pipeline (InjectGapNs)
+	pacer   fabric.Pacer               // per-endpoint injection pipeline (InjectGapNs)
+	peers   []atomic.Pointer[peerAddr] // resolve-on-first-use slots, first post wins
+	nPeers  atomic.Int32               // resolved peers (ConnectedPeers)
 }
 
 // Index returns the endpoint's fabric index within its rank.
@@ -155,8 +175,42 @@ func (d *Domain) NewEndpoint() *Endpoint {
 	e := &Endpoint{dom: d, ep: d.fab.NewEndpoint(d.rank), txEv: mpmc.NewQueue[fabric.Completion](256)}
 	e.credits.Store(int32(d.cfg.TxDepth))
 	e.pacer.Init(d.cfg.InjectGapNs)
+	e.peers = make([]atomic.Pointer[peerAddr], d.fab.NumRanks())
 	return e
 }
+
+// resolve returns dst's address-vector entry, inserting it on first use:
+// the first poster wins the race and pays the modeled fi_av_insert /
+// connection-setup cost exactly once; racing posters wait for it.
+func (e *Endpoint) resolve(dst int) {
+	if p := e.peers[dst].Load(); p != nil {
+		p.waitReady()
+		return
+	}
+	p := &peerAddr{}
+	if !e.peers[dst].CompareAndSwap(nil, p) {
+		e.peers[dst].Load().waitReady()
+		return
+	}
+	spin.Delay(e.dom.cfg.ConnectSetupNs)
+	e.nPeers.Add(1)
+	e.dom.fab.NoteEstablish(e.dom.rank, dst)
+	p.ready.Store(true)
+}
+
+// waitReady blocks until the resolve winner finished the modeled setup
+// (bounded by ConnectSetupNs of busy work; yielding keeps oversubscribed
+// worlds live).
+func (p *peerAddr) waitReady() {
+	for !p.ready.Load() {
+		runtime.Gosched()
+	}
+}
+
+// ConnectedPeers reports how many peer addresses this endpoint has
+// resolved — after a sparse workload this is the number of peers actually
+// posted to, not NumRanks (the rank-scaling gate asserts exactly that).
+func (e *Endpoint) ConnectedPeers() int { return int(e.nPeers.Load()) }
 
 func (e *Endpoint) takeCredit() error {
 	if e.credits.Add(-1) < 0 {
@@ -171,6 +225,7 @@ func (e *Endpoint) takeCredit() error {
 // completion context that fits the inject ceiling is posted as fi_inject:
 // the buffer is reusable on return and no local completion is generated.
 func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
+	e.resolve(dst)
 	if !e.pacer.TryReserve() {
 		return ErrTxFull // endpoint command pipeline busy: backpressure, retry
 	}
@@ -201,6 +256,7 @@ func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) 
 
 // PostWrite posts an RMA write (optionally with immediate).
 func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
+	e.resolve(dst)
 	if !e.pacer.TryReserve() {
 		return ErrTxFull
 	}
@@ -223,6 +279,7 @@ func (e *Endpoint) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byt
 
 // PostRead posts an RMA read.
 func (e *Endpoint) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
+	e.resolve(dst)
 	if !e.pacer.TryReserve() {
 		return ErrTxFull
 	}

@@ -1,0 +1,131 @@
+package ofi_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lci/internal/netsim/fabric"
+	"lci/internal/netsim/ofi"
+)
+
+// TestResolveRaceSingleEntry races many threads posting to the same cold
+// peer: the resolve-on-first-use CAS must insert exactly one
+// address-vector entry, racing posters must wait for the modeled
+// fi_av_insert to finish, and no message may be lost. This is the lazy
+// resolution hot path under -race.
+func TestResolveRaceSingleEntry(t *testing.T) {
+	const threads = 8
+	const perThread = 50
+	const total = threads * perThread
+
+	fab := fabric.New(fabric.Config{NumRanks: 2})
+	// A visible setup cost widens the resolve window so CAS losers
+	// actually exercise waitReady rather than finding ready==true.
+	sender := ofi.NewDomain(fab, 0, ofi.Config{ConnectSetupNs: 20000}).NewEndpoint()
+	receiver := ofi.NewDomain(fab, 1, ofi.Config{}).NewEndpoint()
+	for i := 0; i < total; i++ {
+		receiver.PostRecv(make([]byte, 64), i)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			payload := []byte{byte(th)}
+			<-start
+			for m := 0; m < perThread; m++ {
+				for {
+					err := sender.PostSend(1, 0, uint32(th), payload, nil)
+					if err == nil {
+						break
+					}
+					if err != ofi.ErrTxFull {
+						bad.Add(1)
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(th)
+	}
+	close(start)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d posters hit a non-backpressure error", bad.Load())
+	}
+
+	if got := sender.ConnectedPeers(); got != 1 {
+		t.Errorf("racing posters resolved %d AV entries for one peer, want exactly 1", got)
+	}
+	if got := fab.ConnectedPeers(0); got != 1 {
+		t.Errorf("fabric recorded %d established peers for rank 0, want 1", got)
+	}
+
+	got := 0
+	var out [64]fabric.Completion
+	deadline := time.Now().Add(30 * time.Second)
+	for got < total {
+		n := receiver.PollCQ(out[:])
+		for i := 0; i < n; i++ {
+			if out[i].Kind == fabric.RxSend {
+				got++
+			}
+		}
+		if n == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("lost ops: receiver drained %d of %d messages", got, total)
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestResolveLazyPerPeer posts to a handful of peers on a wide fabric
+// from concurrent threads and checks the AV fills with contacted peers
+// exactly, never world size.
+func TestResolveLazyPerPeer(t *testing.T) {
+	const ranks = 64
+	const contacted = 5
+	fab := fabric.New(fabric.Config{NumRanks: ranks})
+	ep := ofi.NewDomain(fab, 0, ofi.Config{ConnectSetupNs: 5000}).NewEndpoint()
+	for r := 1; r <= contacted; r++ { // only contacted ranks need receive-side state
+		ofi.NewDomain(fab, r, ofi.Config{}).NewEndpoint()
+	}
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dst := 1; dst <= contacted; dst++ {
+				for {
+					err := ep.PostSend(dst, 0, 0, []byte("x"), nil)
+					if err == nil {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ep.ConnectedPeers(); got != contacted {
+		t.Errorf("%d AV entries resolved, want %d (contacted peers)", got, contacted)
+	}
+	if got := fab.ConnectedPeers(0); got != contacted {
+		t.Errorf("fabric recorded %d peers, want %d", got, contacted)
+	}
+	peers := fab.PeerRanks(0)
+	if len(peers) != contacted || peers[0] != 1 || peers[contacted-1] != contacted {
+		t.Errorf("PeerRanks(0) = %v, want [1..%d]", peers, contacted)
+	}
+	if got := fab.ActiveRanks(); got != contacted+1 {
+		t.Errorf("%d of %d rank states materialized, want %d (sender + contacted)",
+			got, ranks, contacted+1)
+	}
+}

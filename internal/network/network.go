@@ -14,6 +14,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"lci/internal/netsim/fabric"
 	"lci/internal/netsim/ibv"
@@ -64,6 +65,12 @@ type Device interface {
 	// bytes, RNR events, cross-domain ops, posted receives). Multi-device
 	// runs read these to verify traffic really strips across endpoints.
 	Stats() fabric.Stats
+	// ConnectedPeers reports how many peers this device has established
+	// provider state toward (ibv QPs, ofi address-vector entries).
+	// Establishment is lazy — connect on first post — so after a sparse
+	// workload this is the contacted-peer count, not NumRanks; the
+	// rank-scaling gate asserts on it.
+	ConnectedPeers() int
 	// BindDomain models the device's backing resources as allocated in
 	// NUMA domain dom of the fabric's host topology. The placement policy
 	// calls it once at device-construction time; devices left unbound
@@ -121,26 +128,40 @@ func (c *ibvContext) NewDevice() (Device, error) {
 	dev := c.ctx.NewDevice()
 	d := &ibvDevice{dev: dev}
 	// Mirror the native doorbell-lock granularity with LCI-layer
-	// try-locks (§5.2.2): one wrapper lock per native send lock, plus one
-	// for the CQ and one for the SRQ.
-	d.sendMu = make([]*spin.Mutex, dev.NumSendLocks())
-	for i := range d.sendMu {
-		d.sendMu[i] = new(spin.Mutex)
-	}
+	// try-locks (§5.2.2): one wrapper lock per native send-lock identity,
+	// plus one for the CQ and one for the SRQ. Under TDPerQP the identity
+	// space is one per peer, so — like the QPs they mirror — the wrapper
+	// locks materialize lazily on first post; only the pointer-slot index
+	// is O(ranks).
+	d.sendMu = make([]atomic.Pointer[spin.Mutex], dev.NumSendLocks())
 	return d, nil
 }
 
 type ibvDevice struct {
 	dev    *ibv.Device
-	sendMu []*spin.Mutex
+	sendMu []atomic.Pointer[spin.Mutex]
 	cqMu   spin.Mutex
 	srqMu  spin.Mutex
 }
 
 func (d *ibvDevice) Index() int { return d.dev.Index() }
 
+// sendLock returns dst's wrapper try-lock, allocating it on first use
+// (CAS race: first poster wins, losers adopt the winner's lock).
+func (d *ibvDevice) sendLock(dst int) *spin.Mutex {
+	id := d.dev.SendLockID(dst)
+	if mu := d.sendMu[id].Load(); mu != nil {
+		return mu
+	}
+	mu := new(spin.Mutex)
+	if d.sendMu[id].CompareAndSwap(nil, mu) {
+		return mu
+	}
+	return d.sendMu[id].Load()
+}
+
 func (d *ibvDevice) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) error {
-	mu := d.sendMu[d.dev.SendLockID(dst)]
+	mu := d.sendLock(dst)
 	if !mu.TryLock() {
 		return ErrRetry
 	}
@@ -153,7 +174,7 @@ func (d *ibvDevice) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any)
 }
 
 func (d *ibvDevice) PostWrite(dst, notifyDev int, rkey, offset uint64, data []byte, imm uint64, hasImm bool, ctx any) error {
-	mu := d.sendMu[d.dev.SendLockID(dst)]
+	mu := d.sendLock(dst)
 	if !mu.TryLock() {
 		return ErrRetry
 	}
@@ -166,7 +187,7 @@ func (d *ibvDevice) PostWrite(dst, notifyDev int, rkey, offset uint64, data []by
 }
 
 func (d *ibvDevice) PostRead(dst int, rkey, offset uint64, into []byte, ctx any) error {
-	mu := d.sendMu[d.dev.SendLockID(dst)]
+	mu := d.sendLock(dst)
 	if !mu.TryLock() {
 		return ErrRetry
 	}
@@ -213,6 +234,8 @@ func (d *ibvDevice) DeregisterMem(rkey uint64) error {
 }
 
 func (d *ibvDevice) Stats() fabric.Stats { return d.dev.Endpoint().Stats() }
+
+func (d *ibvDevice) ConnectedPeers() int { return d.dev.ConnectedQPs() }
 
 func (d *ibvDevice) BindDomain(dom int)  { d.dev.BindDomain(dom) }
 func (d *ibvDevice) Domain() int         { return d.dev.Domain() }
@@ -326,6 +349,8 @@ func (d *ofiDevice) DeregisterMem(rkey uint64) error {
 }
 
 func (d *ofiDevice) Stats() fabric.Stats { return d.ep.FabricEndpoint().Stats() }
+
+func (d *ofiDevice) ConnectedPeers() int { return d.ep.ConnectedPeers() }
 
 func (d *ofiDevice) BindDomain(dom int)  { d.ep.BindDomain(dom) }
 func (d *ofiDevice) Domain() int         { return d.ep.Domain() }

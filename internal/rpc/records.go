@@ -93,11 +93,13 @@ func (t *LCITransport) FlushRecords(tid int) { t.agg.Flush(t.ths[tid]) }
 // Generic coalescer (GASNet / MPI substrates)
 
 // coalescer is the record path for transports without native
-// aggregation: one locked buffer per destination, sealed and handed to
-// Send when the next record would overflow. Send itself provides the
-// backpressure (both baseline substrates block inside injection), so a
-// single buffer per destination already bounds queued-but-unsent bytes
-// at NumRanks*bufBytes per rank.
+// aggregation: one locked buffer per contacted destination, sealed and
+// handed to Send when the next record would overflow. Send itself
+// provides the backpressure (both baseline substrates block inside
+// injection), so one buffer per destination already bounds
+// queued-but-unsent bytes at contactedPeers*bufBytes per rank — buffers
+// allocate on the first record toward a destination, so a sparse job on
+// a large world never pays NumRanks*bufBytes.
 type coalescer struct {
 	tr       Transport
 	bufBytes int
@@ -106,15 +108,12 @@ type coalescer struct {
 
 type coalShard struct {
 	mu  spin.Mutex
-	buf []byte
+	buf []byte // nil until the first record toward this destination
 	_   spin.Pad
 }
 
 func newCoalescer(tr Transport, bufBytes int, recSink, rawSink func(int, []byte)) *coalescer {
 	c := &coalescer{tr: tr, bufBytes: bufBytes, shards: make([]coalShard, tr.NumRanks())}
-	for i := range c.shards {
-		c.shards[i].buf = c.fresh()
-	}
 	tr.SetSink(func(src int, payload []byte) {
 		if len(payload) > 0 && payload[0] == recordMagic {
 			agg.WalkFrames(payload[1:], func(rec []byte) { recSink(src, rec) })
@@ -135,6 +134,9 @@ func (c *coalescer) SendRecord(dst int, rec []byte, tid int) {
 	s := &c.shards[dst]
 	var out []byte
 	s.mu.Lock()
+	if s.buf == nil {
+		s.buf = c.fresh()
+	}
 	if len(s.buf)+agg.FrameOverhead+len(rec) > c.bufBytes && len(s.buf) > 1 {
 		out, s.buf = s.buf, c.fresh()
 	}
@@ -153,7 +155,7 @@ func (c *coalescer) FlushRecords(tid int) {
 		if len(s.buf) > 1 {
 			out, s.buf = s.buf, c.fresh()
 		}
-		s.mu.Unlock()
+		s.mu.Unlock() // nil/empty buffers (never-contacted peers) stay nil
 		if out != nil {
 			c.tr.Send(dst, out, tid)
 		}

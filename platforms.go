@@ -58,6 +58,7 @@ func SimExpanse() Platform {
 			RecvOverheadNs: 100,
 			InjectGapNs:    8000,
 			CrossDomainNs:  1200,
+			ConnectSetupNs: 25000,
 			Strategy:       ibv.TDPerQP,
 		},
 		PendingCap: 1024,
@@ -82,6 +83,7 @@ func SimDelta() Platform {
 			RegisterNs:     400,
 			InjectGapNs:    7000,
 			CrossDomainNs:  1000,
+			ConnectSetupNs: 30000,
 		},
 		PendingCap: 1024,
 		NodeTopo:   topo.SimDelta(),
