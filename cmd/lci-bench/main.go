@@ -13,6 +13,8 @@
 //	lci-bench -mode am              # handler vs cq-shim AM throughput
 //	lci-bench -mode agg             # coalesced vs naive record throughput + homing
 //	lci-bench -mode rankscale       # latency sweep to 256 ranks + sparse connectivity
+//	lci-bench -stats                # run a mixed workload, dump the telemetry snapshot
+//	lci-bench -stats -trace         # same, with the message-lifecycle trace ring on
 //	lci-bench -table1 -platforms
 package main
 
@@ -34,6 +36,8 @@ var (
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
 	platforms = flag.Bool("platforms", false, "print the simulated platform configuration (Table 2)")
+	statsFlag = flag.Bool("stats", false, "run a short mixed workload and print the per-layer telemetry snapshot")
+	traceFlag = flag.Bool("trace", false, "with -stats: record the message-lifecycle trace ring and append its tail")
 )
 
 func pairSweep() []int {
@@ -205,6 +209,20 @@ func rankscale() {
 	}
 }
 
+func stats() {
+	fmt.Println("== Telemetry: per-layer snapshot after a mixed AM + rendezvous workload ==")
+	threads := 8
+	if threads > *maxPairs {
+		threads = *maxPairs
+	}
+	report, err := bench.TelemetryReport(lci.SimExpanse(), threads, *itersFlag, *traceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}
+
 func printTable1() {
 	fmt.Println("== Table 1: post_comm paradigm matrix ==")
 	fmt.Println("Direction  RemoteBuf  RemoteComp  Validity  Paradigm")
@@ -240,6 +258,9 @@ func main() {
 	if *platforms {
 		printPlatforms()
 	}
+	if *statsFlag {
+		stats()
+	}
 	switch *modeFlag {
 	case "coll":
 		coll()
@@ -266,7 +287,7 @@ func main() {
 		fig4()
 		fig5()
 	case "":
-		if !*table1 && !*platforms && *modeFlag == "" {
+		if !*table1 && !*platforms && !*statsFlag && *modeFlag == "" {
 			flag.Usage()
 			os.Exit(2)
 		}

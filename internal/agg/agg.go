@@ -53,6 +53,7 @@ import (
 	"lci/internal/core"
 	"lci/internal/packet"
 	"lci/internal/spin"
+	"lci/internal/telemetry"
 	"lci/internal/topo"
 )
 
@@ -222,6 +223,8 @@ type Aggregator struct {
 	rcomp base.RComp
 	cols  []*column
 	epoch atomic.Uint64
+	tel   *telemetry.Telemetry
+	tc    *telemetry.AggCounters
 }
 
 // New builds an aggregator over rt's current device pool (one shard
@@ -233,7 +236,9 @@ func New(rt *core.Runtime, sink Sink, cfg Config) *Aggregator {
 		panic("agg: New requires a sink")
 	}
 	cfg = cfg.withDefaults(rt)
-	ag := &Aggregator{rt: rt, cfg: cfg, sink: sink}
+	ag := &Aggregator{rt: rt, cfg: cfg, sink: sink, tel: rt.Telemetry()}
+	ag.tc = ag.tel.Agg()
+	ag.tel.RegisterGauge("agg_queued_bytes", func() int64 { return int64(ag.QueuedBytes()) })
 	ag.rcomp = rt.RegisterHandler(ag.scatter)
 	t := rt.Config().Topology
 	ag.cols = make([]*column, rt.NumDevices())
@@ -318,6 +323,12 @@ func (ag *Aggregator) Append(t *Thread, dest int, rec []byte) error {
 		n := len(sh.free)
 		if n == 0 {
 			sh.mu.Unlock()
+			if ag.tel.Counting() {
+				ag.tc.Busy.Add(1)
+				if sealed != nil {
+					ag.tc.FlushSize.Add(1)
+				}
+			}
 			if sealed != nil {
 				sh.post(sealed, t)
 			}
@@ -339,6 +350,15 @@ func (ag *Aggregator) Append(t *Thread, dest int, rec []byte) error {
 		sealed2, sh.cur = b, nil // exactly full: not even an empty record fits
 	}
 	sh.mu.Unlock()
+	if ag.tel.Counting() {
+		ag.tc.Appends.Add(1)
+		if sealed != nil {
+			ag.tc.FlushSize.Add(1)
+		}
+		if sealed2 != nil {
+			ag.tc.FlushSize.Add(1)
+		}
+	}
 	if sealed != nil {
 		sh.post(sealed, t)
 	}
@@ -380,6 +400,9 @@ func (sh *shard) post(b *buffer, t *Thread) {
 	}
 	switch {
 	case st.IsRetry():
+		if sh.ag.tel.Counting() {
+			sh.ag.tc.Parks.Add(1)
+		}
 		sh.mu.Lock()
 		sh.pend = append(sh.pend, b)
 		sh.mu.Unlock()
@@ -444,6 +467,9 @@ func (ag *Aggregator) Poll(t *Thread) int {
 		sh.mu.Unlock()
 		if aged {
 			if b := sh.seal(); b != nil {
+				if ag.tel.Counting() {
+					ag.tc.FlushAge.Add(1)
+				}
 				sh.post(b, t)
 			}
 		}
@@ -461,6 +487,9 @@ func (ag *Aggregator) FlushDest(t *Thread, dest int) {
 		return // never appended toward dest: nothing queued
 	}
 	if b := sh.seal(); b != nil {
+		if ag.tel.Counting() {
+			ag.tc.FlushExplicit.Add(1)
+		}
 		sh.post(b, t)
 	}
 	for _, b := range sh.takePending() {
@@ -482,6 +511,9 @@ func (ag *Aggregator) Flush(t *Thread) {
 	for _, col := range ag.cols {
 		col.each(func(sh *shard) {
 			if b := sh.seal(); b != nil {
+				if ag.tel.Counting() {
+					ag.tc.FlushExplicit.Add(1)
+				}
 				sh.post(b, t)
 			}
 		})
@@ -522,7 +554,9 @@ func (ag *Aggregator) idle(t *Thread) bool {
 // aggregator: current-buffer fill plus sealed-but-refused pending
 // buffers. In-flight (posted) buffers are the network's, not queued. The
 // value is a racy snapshot for diagnostics and the backpressure gate; by
-// construction it never exceeds shards x BufsPerDest x BufBytes.
+// construction it never exceeds shards x BufsPerDest x BufBytes. The same
+// reading is published as the agg_queued_bytes gauge (plus the agg flush
+// counters) in Runtime.Telemetry().Snapshot().
 func (ag *Aggregator) QueuedBytes() int {
 	total := 0
 	for _, col := range ag.cols {

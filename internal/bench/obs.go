@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lci"
+	"lci/internal/core"
+)
+
+// ObsResult is one point of the telemetry-overhead comparison: the
+// Fig-4-shaped small-AM round-trip rate with the observability layer in a
+// given mode.
+type ObsResult struct {
+	Mode     string  // enabled / disabled
+	Platform string  // SimExpanse / SimDelta
+	Threads  int     // threads per rank (= device-pool size)
+	Msgs     int64   // round trips counted
+	Seconds  float64 // wall time
+	RateMps  float64 // million round trips per second
+}
+
+func (r ObsResult) String() string {
+	return fmt.Sprintf("telemetry %-9s %-11s threads=%-3d rate=%8.3f Mrt/s",
+		r.Mode, r.Platform, r.Threads, r.RateMps)
+}
+
+// TelemetryRate measures the small-AM ping-pong rate (the same
+// handler-path workload as AMRate) with telemetry either at its default
+// state (counters + histograms on) or fully disabled. The enabled/disabled
+// ratio is the observability layer's measured overhead; TestTelemetryOverhead
+// keeps it bounded. With enabled telemetry the run also verifies the
+// snapshot is non-empty — an all-zero snapshot would mean the counters
+// silently fell off a hot path and the "overhead" being measured is of
+// code that no longer runs.
+func TelemetryRate(platform lci.Platform, threads, iters int, enabled bool) (ObsResult, error) {
+	mode := "enabled"
+	opts := []lci.WorldOption{
+		lci.WithPlatform(platform),
+		lci.WithRuntimeConfig(core.Config{NumDevices: threads}),
+	}
+	if !enabled {
+		mode = "disabled"
+		opts = append(opts, lci.WithTelemetry(lci.TelemetryConfig{Disable: true}))
+	}
+	w := lci.NewWorld(2, opts...)
+	defer w.Close()
+
+	pongs := make([]atomic.Int64, threads)
+	var done atomic.Bool
+	var elapsed time.Duration
+	var snapErr error
+
+	err := w.Launch(func(rt *lci.Runtime) error {
+		peer := 1 - rt.Rank()
+		ping := []byte("ping-pay")
+		pong := []byte("pong-pay")
+
+		var rc lci.RComp
+		if rt.Rank() == 0 {
+			rc = rt.RegisterHandler(func(st lci.Status) { pongs[st.Tag].Add(1) })
+		} else {
+			replyOpts := make([]core.Options, threads)
+			rc = rt.RegisterHandler(func(st lci.Status) {
+				if _, err := rt.Core().PostAM(st.Rank, pong, st.Tag, nil, replyOpts[st.Tag]); err != nil {
+					panic(err)
+				}
+			})
+			for t := 0; t < threads; t++ {
+				replyOpts[t] = core.Options{
+					Device: rt.Device(t), RComp: rc, DisallowRetry: true,
+				}
+			}
+		}
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				dev := rt.Device(t)
+				if rt.Rank() == 0 {
+					for i := int64(0); i < int64(iters); i++ {
+						for {
+							st, err := rt.PostAM(peer, ping, rc,
+								lci.WithTag(t), lci.WithDevice(dev))
+							if err != nil {
+								panic(err)
+							}
+							if !st.IsRetry() {
+								break
+							}
+							dev.Progress()
+						}
+						for miss := 0; pongs[t].Load() <= i; miss++ {
+							dev.Progress()
+							if miss&63 == 63 {
+								runtime.Gosched()
+							}
+						}
+					}
+					return
+				}
+				for miss := 0; !done.Load(); miss++ {
+					dev.Progress()
+					if miss&63 == 63 {
+						runtime.Gosched()
+					}
+				}
+			}(t)
+		}
+		if rt.Rank() == 0 {
+			t0 := time.Now()
+			wg.Wait()
+			elapsed = time.Since(t0)
+			done.Store(true)
+			if enabled {
+				s := rt.Telemetry().Snapshot()
+				if s.Empty() {
+					snapErr = fmt.Errorf("bench: telemetry enabled but snapshot empty after %d round trips",
+						int64(threads)*int64(iters))
+				} else if s.Total().AMFires == 0 {
+					snapErr = fmt.Errorf("bench: telemetry enabled but no AM fires counted")
+				}
+			}
+		} else {
+			wg.Wait()
+		}
+		return nil
+	})
+	if err != nil {
+		return ObsResult{}, err
+	}
+	if snapErr != nil {
+		return ObsResult{}, snapErr
+	}
+
+	msgs := int64(threads) * int64(iters)
+	return ObsResult{
+		Mode: mode, Platform: platform.Name, Threads: threads,
+		Msgs: msgs, Seconds: elapsed.Seconds(),
+		RateMps: float64(msgs) / elapsed.Seconds() / 1e6,
+	}, nil
+}
+
+// TelemetryReport runs a short mixed workload (small-AM ping-pong plus
+// one rendezvous-sized transfer per thread pair) and returns rank 0's
+// rendered telemetry snapshot — the text behind `lci-bench -stats`. With
+// trace set the lifecycle trace ring records the run and the dump's tail
+// is appended to the report (`lci-bench -trace`).
+func TelemetryReport(platform lci.Platform, threads, iters int, trace bool) (string, error) {
+	opts := []lci.WorldOption{
+		lci.WithPlatform(platform),
+		lci.WithRuntimeConfig(core.Config{NumDevices: threads}),
+	}
+	if trace {
+		opts = append(opts, lci.WithTelemetry(lci.TelemetryConfig{Trace: true}))
+	}
+	w := lci.NewWorld(2, opts...)
+	defer w.Close()
+
+	pongs := make([]atomic.Int64, threads)
+	var done atomic.Bool
+	var report string
+
+	err := w.Launch(func(rt *lci.Runtime) error {
+		peer := 1 - rt.Rank()
+		ping := []byte("ping-pay")
+		pong := []byte("pong-pay")
+		big := make([]byte, rt.MaxEager()+1)
+
+		var rc lci.RComp
+		if rt.Rank() == 0 {
+			rc = rt.RegisterHandler(func(st lci.Status) { pongs[st.Tag].Add(1) })
+		} else {
+			replyOpts := make([]core.Options, threads)
+			rc = rt.RegisterHandler(func(st lci.Status) {
+				if _, err := rt.Core().PostAM(st.Rank, pong, st.Tag, nil, replyOpts[st.Tag]); err != nil {
+					panic(err)
+				}
+			})
+			for t := 0; t < threads; t++ {
+				replyOpts[t] = core.Options{
+					Device: rt.Device(t), RComp: rc, DisallowRetry: true,
+				}
+			}
+		}
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				dev := rt.Device(t)
+				if rt.Rank() == 0 {
+					// One rendezvous transfer first, so the report shows the
+					// RTS/RTR/write counters alongside the eager path.
+					cq := lci.NewCQ()
+					for {
+						st, err := rt.PostSend(peer, big, t, cq, lci.WithDevice(dev))
+						if err != nil {
+							panic(err)
+						}
+						if !st.IsRetry() {
+							break
+						}
+						dev.Progress()
+					}
+					for {
+						if _, ok := cq.Pop(); ok {
+							break
+						}
+						dev.Progress()
+					}
+					for i := int64(0); i < int64(iters); i++ {
+						for {
+							st, err := rt.PostAM(peer, ping, rc,
+								lci.WithTag(t), lci.WithDevice(dev))
+							if err != nil {
+								panic(err)
+							}
+							if !st.IsRetry() {
+								break
+							}
+							dev.Progress()
+						}
+						for pongs[t].Load() <= i {
+							dev.Progress()
+						}
+					}
+					return
+				}
+				rcq := lci.NewCQ()
+				rbuf := make([]byte, len(big))
+				if _, err := rt.PostRecv(0, rbuf, t, rcq, lci.WithDevice(dev)); err != nil {
+					panic(err)
+				}
+				for !done.Load() {
+					dev.Progress()
+				}
+			}(t)
+		}
+		if rt.Rank() == 0 {
+			wg.Wait()
+			done.Store(true)
+			var b strings.Builder
+			fmt.Fprintf(&b, "telemetry snapshot, rank 0 (%s, %d threads, %d round trips/thread):\n\n",
+				platform.Name, threads, iters)
+			b.WriteString(rt.Telemetry().Snapshot().String())
+			if trace {
+				ev := rt.Telemetry().Trace().Dump()
+				const tail = 32
+				from := 0
+				if len(ev) > tail {
+					from = len(ev) - tail
+				}
+				fmt.Fprintf(&b, "\ntrace ring: %d events, last %d:\n", len(ev), len(ev)-from)
+				for _, e := range ev[from:] {
+					fmt.Fprintf(&b, "  %s\n", e)
+				}
+			}
+			report = b.String()
+		} else {
+			wg.Wait()
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return report, nil
+}

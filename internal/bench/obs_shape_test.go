@@ -1,0 +1,53 @@
+package bench_test
+
+import (
+	"testing"
+
+	"lci"
+	"lci/internal/bench"
+)
+
+// TestTelemetryOverhead is the standing observability gate: the telemetry
+// layer's default state (per-layer counters + latency histograms) must
+// cost no more than 10% of the Fig-4-shaped small-AM round-trip rate at 8
+// threads versus a fully disabled runtime. The disabled path is one
+// relaxed flag load per site, the enabled path a handful of uncontended
+// padded atomics per message — if either stops being true this test is
+// where it shows up. Measured points go to BENCH_obs.json, which
+// cmd/lci-benchgate gates against the committed baseline.
+func TestTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry overhead measurement is not short")
+	}
+	if bench.RaceEnabled {
+		t.Skip("race detector skews performance ratios")
+	}
+	const threads, iters = 8, 8000
+	var enabled, disabled bench.ObsResult
+	// Scheduler noise on small CI machines occasionally craters one
+	// measurement; re-measure before declaring a regression.
+	for attempt := 0; attempt < 3; attempt++ {
+		var err error
+		disabled, err = bench.TelemetryRate(lci.SimExpanse(), threads, iters, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enabled, err = bench.TelemetryRate(lci.SimExpanse(), threads, iters, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v", disabled)
+		t.Logf("%v", enabled)
+		if enabled.RateMps >= 0.9*disabled.RateMps {
+			break
+		}
+	}
+	meta := bench.Meta{Threads: threads, Platform: lci.SimExpanse().Name}
+	if err := bench.WriteJSON("obs", meta, []bench.ObsResult{enabled, disabled}); err != nil {
+		t.Logf("bench artifact not written: %v", err)
+	}
+	if enabled.RateMps < 0.9*disabled.RateMps {
+		t.Errorf("telemetry overhead above bound: enabled %.3f vs disabled %.3f Mrt/s (%.2fx, want >= 0.90x)",
+			enabled.RateMps, disabled.RateMps, enabled.RateMps/disabled.RateMps)
+	}
+}

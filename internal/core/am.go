@@ -158,18 +158,33 @@ func (rt *Runtime) lookupHandler(rc base.RComp) func(base.Status) {
 
 // fireAM delivers an AM or signal arrival to whatever rc names: a table
 // handler (invoked inline — poller context) or a registered completion
-// object (signaled). It reports whether a live target consumed st.
-func (rt *Runtime) fireAM(rc base.RComp, st base.Status) bool {
+// object (signaled). It reports whether a live target consumed st. The
+// arrival device d attributes the delivery to its counter block (nil
+// skips the accounting — no non-device caller exists today).
+func (rt *Runtime) fireAM(d *Device, rc base.RComp, st base.Status) bool {
+	counting := d != nil && d.tel.Counting()
 	if rc.IsHandler() {
 		if fn := rt.handlers.lookup(rc); fn != nil {
+			if counting {
+				d.tc.AMFires.Add(1)
+			}
 			fn(st)
 			return true
+		}
+		if counting {
+			d.tc.AMDrops.Add(1)
 		}
 		return false
 	}
 	if c := rt.lookupRComp(rc); c != nil {
+		if counting {
+			d.tc.AMSignals.Add(1)
+		}
 		c.Signal(st)
 		return true
+	}
+	if counting {
+		d.tc.AMDrops.Add(1)
 	}
 	return false
 }

@@ -11,6 +11,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/telemetry"
 	"lci/internal/topo"
 )
 
@@ -40,10 +41,13 @@ type Device struct {
 	pollMu    spin.Lock
 	compBatch []network.Completion
 
-	// stats (updated only on rounds that found work; the empty-poll fast
-	// path touches nothing shared)
-	statRounds atomic.Int64
-	statComps  atomic.Int64
+	// tel caches the runtime's telemetry root (flag loads on the hot
+	// path), tc is this device's padded counter block, and ring is the
+	// device's lifecycle trace ring (used by the poller and by posts that
+	// carry no thread affinity).
+	tel  *telemetry.Telemetry
+	tc   *telemetry.DeviceCounters
+	ring *telemetry.Ring
 }
 
 // NewDevice allocates a new device (alloc_device in the paper) and adds
@@ -75,7 +79,21 @@ func (rt *Runtime) NewDevice() (*Device, error) {
 		worker:    rt.pool.RegisterWorkerIn(dom),
 		bq:        backlog.New(),
 		compBatch: make([]network.Completion, 32),
+		tel:       rt.tel,
+		tc:        &telemetry.DeviceCounters{},
+		ring:      rt.tel.Trace().NewRing(),
 	}
+	rt.tel.RegisterDevice(nd.Index(), d.tc, func() telemetry.DeviceGauges {
+		ns := d.net.Stats()
+		return telemetry.DeviceGauges{
+			Net: telemetry.NetSnap{
+				Msgs: ns.Msgs, Bytes: ns.Bytes, RNR: ns.RNR,
+				Rejects: ns.Rejects, CrossOps: ns.CrossOps,
+			},
+			ConnectedPeers: d.net.ConnectedPeers(),
+			BacklogLen:     d.bq.Len(),
+		}
+	})
 	d.recvDeficit.Store(int64(rt.cfg.PreRecvs))
 	d.replenish(d.worker)
 	idx := rt.devs.Append(d)
@@ -107,6 +125,16 @@ func (d *Device) crossDelay(w *packet.Worker) {
 	}
 	if from := w.Domain(); from >= 0 && from != d.domain {
 		d.net.CrossDelay(from)
+		if d.tel.Counting() {
+			d.tc.CrossOps.Add(1)
+		}
+	}
+}
+
+// noteRetry classifies a bounced post into its retry counter.
+func (d *Device) noteRetry(err error) {
+	if d.tel.Counting() {
+		d.tc.NoteRetry(errors.Is(err, errNoPacket), errors.Is(err, network.ErrTxFull))
 	}
 }
 
@@ -181,7 +209,10 @@ func (d *Device) ProgressW(w *packet.Worker) int {
 func (d *Device) progressSlow(w *packet.Worker) int {
 	// (3) retry postponed requests first, preserving their order.
 	if !d.bq.Empty() {
-		d.bq.Drain(retryable)
+		drained := d.bq.Drain(retryable)
+		if drained > 0 && d.tel.Counting() {
+			d.tc.BacklogDrains.Add(int64(drained))
+		}
 	}
 
 	// (7) keep the device supplied with pre-posted receives.
@@ -211,26 +242,38 @@ func (d *Device) progressSlow(w *packet.Worker) int {
 		comps[i] = network.Completion{} // drop references for the GC
 	}
 	d.pollMu.Unlock()
-	d.statRounds.Add(1)
-	d.statComps.Add(int64(n))
+	d.tc.ProgressRounds.Add(1)
+	d.tc.Completions.Add(int64(n))
 	return n
 }
 
 // Stats reports how many progress rounds found completions and how many
-// completions were processed (diagnostics).
+// completions were processed.
+//
+// Deprecated: Stats is a thin view over the telemetry counters — the same
+// numbers appear as ProgressRounds / Completions in
+// Runtime.Telemetry().Snapshot(), alongside every other layer. The
+// progress counters are maintained unconditionally (they live on the
+// slow path), so this keeps working even with counters disabled.
 func (d *Device) Stats() (rounds, comps int64) {
-	return d.statRounds.Load(), d.statComps.Load()
+	return d.tc.ProgressRounds.Load(), d.tc.Completions.Load()
 }
 
 // NetStats snapshots the device's fabric-endpoint counters (messages
 // received, bytes, RNR events). Multi-device gates read these to verify
 // traffic really strips across the pool.
+//
+// Deprecated: the same numbers appear as the device's Gauges.Net in
+// Runtime.Telemetry().Snapshot().
 func (d *Device) NetStats() fabric.Stats { return d.net.Stats() }
 
 // ConnectedPeers reports how many peers this device's backend has
 // established provider state toward (ibv QPs / ofi address-vector
 // entries). Establishment is connect-on-first-use, so after a sparse
 // workload this tracks the peers actually posted to, not NumRanks.
+//
+// Deprecated: the same number appears as the device's
+// Gauges.ConnectedPeers in Runtime.Telemetry().Snapshot().
 func (d *Device) ConnectedPeers() int { return d.net.ConnectedPeers() }
 
 // handleCompletion reacts to one network completion.
@@ -238,9 +281,8 @@ func (d *Device) handleCompletion(c *network.Completion, w *packet.Worker) {
 	switch c.Kind {
 	case fabric.TxDone:
 		if c.Ctx != nil {
-			if op, ok := c.Ctx.(*sendOp); ok && op.comp != nil {
-				// (6) signal the source-side completion object.
-				op.comp.Signal(op.st)
+			if op, ok := c.Ctx.(*sendOp); ok {
+				d.completeSend(op)
 			}
 		}
 	case fabric.RxSend:
@@ -250,9 +292,30 @@ func (d *Device) handleCompletion(c *network.Completion, w *packet.Worker) {
 	case fabric.RxWriteImm:
 		d.handleWriteImm(c.Src, c.Imm, c.Len)
 	case fabric.ReadDone:
-		if op, ok := c.Ctx.(*sendOp); ok && op.comp != nil {
-			op.comp.Signal(op.st)
+		if op, ok := c.Ctx.(*sendOp); ok {
+			d.completeSend(op)
 		}
+	}
+}
+
+// completeSend is the source-side completion fire (reaction 6): latency
+// sample, lifecycle event, then the completion-object signal. The sendOp
+// may carry no completion object at all — it then exists only to bring
+// its post timestamp to this point.
+func (d *Device) completeSend(op *sendOp) {
+	if op.t0 != 0 {
+		dt := telemetry.Now() - op.t0
+		if op.rdvAM {
+			d.tel.AMRoundTrip().Record(dt)
+		} else {
+			d.tel.PostLatency().Record(dt)
+		}
+	}
+	if d.tel.Tracing() {
+		d.ring.Add(telemetry.EvComplete, d.Index(), op.st.Rank, uint64(uint32(op.st.Tag)))
+	}
+	if op.comp != nil {
+		op.comp.Signal(op.st)
 	}
 }
 
@@ -266,9 +329,17 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		eng := d.rt.engineByID(h.engine)
 		key := matching.MakeKey(src, int(h.tag), h.policy)
 		arrival := &eagerArrival{pkt: pkt, src: src, tag: int(h.tag), size: int(h.size)}
+		if d.tel.Tracing() {
+			d.ring.Add(telemetry.EvDeliver, d.Index(), src, uint64(uint32(h.tag)))
+		}
 		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
+			if d.tel.Counting() {
+				d.tc.MatchHits.Add(1)
+			}
 			rop := m.(*recvOp)
 			d.completeEagerRecv(rop, arrival, w)
+		} else if d.tel.Counting() {
+			d.tc.MatchUnexpected.Add(1)
 		}
 		// Unmatched: the packet stays parked in the engine until a recv
 		// arrives; it is recycled in completeEagerRecv.
@@ -282,22 +353,41 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 			State: base.Done, Rank: src, Tag: int(h.tag),
 			Buffer: payload, Size: len(payload),
 		}
+		if d.tel.Tracing() {
+			d.ring.Add(telemetry.EvDeliver, d.Index(), src, uint64(uint32(h.tag)))
+		}
 		if fn := d.rt.lookupHandler(h.rcomp); fn != nil {
+			if d.tel.Counting() {
+				d.tc.AMFires.Add(1)
+			}
 			fn(st)
 		} else if comp := d.rt.lookupRComp(h.rcomp); comp != nil {
+			if d.tel.Counting() {
+				d.tc.AMSignals.Add(1)
+			}
 			data := make([]byte, len(payload))
 			copy(data, payload)
 			st.Buffer = data
 			comp.Signal(st)
+		} else if d.tel.Counting() {
+			d.tc.AMDrops.Add(1)
 		}
 		w.Put(pkt)
 	case kRTS:
 		eng := d.rt.engineByID(h.engine)
 		key := matching.MakeKey(src, int(h.tag), h.policy)
 		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token, dev: d}
+		if d.tel.Counting() {
+			d.tc.RTSRecv.Add(1)
+		}
 		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
+			if d.tel.Counting() {
+				d.tc.MatchHits.Add(1)
+			}
 			rop := m.(*recvOp)
 			d.startRTR(rop, arrival)
+		} else if d.tel.Counting() {
+			d.tc.MatchUnexpected.Add(1)
 		}
 		w.Put(pkt)
 	case kRTSAM:
@@ -307,6 +397,9 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		// device, the one the RTS arrived on, which is also where the
 		// handler will fire when the payload lands (arrival-device
 		// correctness; see startRTR).
+		if d.tel.Counting() {
+			d.tc.RTSRecv.Add(1)
+		}
 		buf, owner := d.rt.allocAM(int(h.size), h.rcomp)
 		d.respondRTR(src, h.token, buf, rdvState{
 			isAM: true, rcomp: h.rcomp, buf: buf, alloc: owner, src: src, tag: int(h.tag),
@@ -388,6 +481,12 @@ func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState
 		token: senderToken,
 		rkey:  rkey,
 	}
+	if d.tel.Counting() {
+		d.tc.RTRSent.Add(1)
+	}
+	if d.tel.Tracing() {
+		d.ring.Add(telemetry.EvRTR, d.Index(), src, senderToken)
+	}
 	d.sendControl(src, int(senderToken>>32), hdr)
 }
 
@@ -408,6 +507,9 @@ func (d *Device) sendControl(dst, remoteDev int, hdr header) {
 		if !retryable(err) {
 			panic("lci: control message failed: " + err.Error())
 		}
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
+		}
 		d.bq.Push(backlog.Op(try))
 	}
 }
@@ -422,9 +524,15 @@ func (d *Device) continueRendezvous(src int, h header) {
 	ss := v.(*sendState)
 	rtoken := uint32(h.rcomp)
 	notifyDev := int(h.size)
+	if d.tel.Counting() {
+		d.tc.RdvWrite.Add(1)
+	}
+	if d.tel.Tracing() {
+		d.ring.Add(telemetry.EvWrite, d.Index(), src, h.token)
+	}
 	var ctx any
-	if ss.comp != nil {
-		ctx = &sendOp{comp: ss.comp, st: ss.st}
+	if ss.comp != nil || ss.t0 != 0 {
+		ctx = &sendOp{comp: ss.comp, st: ss.st, t0: ss.t0, rdvAM: ss.isAM}
 	}
 	try := func() error {
 		return d.net.PostWrite(src, notifyDev, h.rkey, 0, ss.buf,
@@ -433,6 +541,9 @@ func (d *Device) continueRendezvous(src int, h header) {
 	if err := try(); err != nil {
 		if !retryable(err) {
 			panic("lci: rendezvous write failed: " + err.Error())
+		}
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
 		}
 		d.bq.Push(backlog.Op(try))
 	}
@@ -456,12 +567,15 @@ func (d *Device) handleWriteImm(src int, imm uint64, length int) {
 			State: base.Done, Rank: st.src, Tag: st.tag,
 			Buffer: st.buf[:length], Size: length, Ctx: st.ctx,
 		}
+		if d.tel.Tracing() {
+			d.ring.Add(telemetry.EvDeliver, d.Index(), st.src, uint64(rtoken))
+		}
 		if st.isAM {
 			// Rendezvous AM arrival: fire the handler (poller context) or
 			// signal the completion object, then hand the buffer back to
 			// its allocator if one owns it. A stale handler handle drops
 			// the delivery; the buffer is still reclaimed.
-			d.rt.fireAM(st.rcomp, status)
+			d.rt.fireAM(d, st.rcomp, status)
 			if st.alloc != nil && st.alloc.Free != nil {
 				st.alloc.Free(st.buf)
 			}
@@ -474,7 +588,7 @@ func (d *Device) handleWriteImm(src int, imm uint64, length int) {
 	// object or table handler; handler handles survive the 31-bit immediate
 	// encoding because their flag sits at bit 30).
 	rc, tag := decodePutImm(imm)
-	d.rt.fireAM(rc, base.Status{
+	d.rt.fireAM(d, rc, base.Status{
 		State: base.Done, Rank: src, Tag: tag, Size: length,
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"lci/internal/matching"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/telemetry"
 )
 
 // Options are the optional arguments of a communication posting operation.
@@ -73,9 +74,14 @@ type RemoteBuffer struct {
 }
 
 // sendOp carries the source-side completion through the network layer.
+// t0 is the post timestamp when latency histograms were live at post time
+// (0 = untimed); rdvAM routes the sample to the AM round-trip histogram
+// (the rendezvous-AM RTS→RTR→write cycle) instead of the post latency.
 type sendOp struct {
-	comp base.Comp
-	st   base.Status
+	comp  base.Comp
+	st    base.Status
+	t0    int64
+	rdvAM bool
 }
 
 // recvOp is a posted receive parked in the matching engine.
@@ -108,11 +114,15 @@ type rtsArrival struct {
 	dev   *Device
 }
 
-// sendState is an in-flight rendezvous send awaiting its RTR.
+// sendState is an in-flight rendezvous send awaiting its RTR. t0/isAM
+// ride along so the payload write's sendOp can place its latency sample
+// (see sendOp).
 type sendState struct {
 	buf  []byte
 	comp base.Comp
 	st   base.Status
+	t0   int64
+	isAM bool
 }
 
 func (o *Options) device(rt *Runtime) *Device {
@@ -146,6 +156,16 @@ func (o *Options) worker(d *Device) *packet.Worker {
 		return o.Affinity.worker
 	}
 	return d.worker
+}
+
+// ring picks the lifecycle trace ring for a posting call: the posting
+// thread's own ring when the post carries an Affinity (single-writer),
+// the device's ring otherwise. Only evaluated under Tracing().
+func (o *Options) ring(d *Device) *telemetry.Ring {
+	if o.Affinity != nil && o.Affinity.ring != nil {
+		return o.Affinity.ring
+	}
+	return d.ring
 }
 
 func (o *Options) remoteDev(d *Device) int {
@@ -259,6 +279,10 @@ func (rt *Runtime) checkCommon(rank int, buf []byte) error {
 // final status.
 func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, opts Options, d *Device) (base.Status, error) {
 	w := opts.worker(d)
+	var t0 int64
+	if comp != nil && len(buf) > rt.cfg.InjectSize && d.tel.Timing() {
+		t0 = telemetry.Now()
+	}
 	attempt := func(bounce bool) error {
 		pkt := w.Get()
 		if pkt == nil {
@@ -270,7 +294,7 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 		if comp != nil && len(buf) > rt.cfg.InjectSize {
 			ctx = &sendOp{comp: comp, st: base.Status{
 				State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
-			}}
+			}, t0: t0}
 		}
 		d.crossDelay(w)
 		err := d.net.PostSend(rank, opts.remoteDev(d), uint32(hdr.kind), pkt.Data[:headerSize+n], ctx)
@@ -283,10 +307,22 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 	if err == nil {
 		if len(buf) <= rt.cfg.InjectSize {
 			// Inject: immediate completion, completion object NOT signaled.
+			if d.tel.Counting() {
+				d.tc.PostInline.Add(1)
+			}
+			if d.tel.Tracing() {
+				opts.ring(d).Add(telemetry.EvInject, d.Index(), rank, uint64(uint32(hdr.tag)))
+			}
 			return base.Status{
 				State: base.Done, Rank: rank, Tag: int(hdr.tag),
 				Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
 			}, nil
+		}
+		if d.tel.Counting() {
+			d.tc.PostEager.Add(1)
+		}
+		if d.tel.Tracing() {
+			opts.ring(d).Add(telemetry.EvPost, d.Index(), rank, uint64(uint32(hdr.tag)))
 		}
 		return base.Status{State: base.Posted}, nil
 	}
@@ -297,6 +333,9 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 		// Reaction (2): park the whole attempt on the backlog queue. The
 		// inject fast-completion is unavailable on this path; the
 		// completion object is signaled even for small messages.
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
+		}
 		inner := hdr
 		innerComp := comp
 		d.bq.Push(func() error {
@@ -310,7 +349,7 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 			if innerComp != nil {
 				ctx = &sendOp{comp: innerComp, st: base.Status{
 					State: base.Done, Rank: rank, Tag: int(inner.tag), Buffer: buf, Size: n, Ctx: opts.Ctx,
-				}}
+				}, t0: t0}
 			}
 			d.crossDelay(w)
 			e := d.net.PostSend(rank, opts.remoteDev(d), uint32(inner.kind), pkt.Data[:headerSize+n], ctx)
@@ -319,6 +358,7 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 		})
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
+	d.noteRetry(err)
 	return classifyRetry(err), nil
 }
 
@@ -327,7 +367,10 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Comp, opts Options, d *Device) (base.Status, error) {
 	ss := &sendState{buf: buf, comp: comp, st: base.Status{
 		State: base.Done, Rank: rank, Tag: int(hdr.tag), Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
-	}}
+	}, isAM: hdr.kind == kRTSAM}
+	if d.tel.Timing() {
+		ss.t0 = telemetry.Now()
+	}
 	// The upper half of the wire token names the device the RTS is posted
 	// from: the sender state lives in that device's token table, so the
 	// receiver must address the RTR to it explicitly — endpoint-index
@@ -351,6 +394,12 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 	}
 	err := attempt()
 	if err == nil {
+		if d.tel.Counting() {
+			d.tc.PostRendezvous.Add(1)
+		}
+		if d.tel.Tracing() {
+			opts.ring(d).Add(telemetry.EvRTS, d.Index(), rank, hdr.token)
+		}
 		return base.Status{State: base.Posted}, nil
 	}
 	if !retryable(err) {
@@ -358,10 +407,14 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 		return base.Status{}, err
 	}
 	if opts.DisallowRetry {
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
+		}
 		d.bq.Push(attempt)
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
 	d.tokens.release(token)
+	d.noteRetry(err)
 	return classifyRetry(err), nil
 }
 
@@ -409,7 +462,13 @@ func (rt *Runtime) postRecv(rank int, buf []byte, tag int, comp base.Comp, opts 
 	m, ok := eng.Insert(key, matching.Recv, rop)
 	if !ok {
 		// (1) parked in the matching engine awaiting the send.
+		if d.tel.Counting() {
+			d.tc.RecvPosted.Add(1)
+		}
 		return base.Status{State: base.Posted}, nil
+	}
+	if d.tel.Counting() {
+		d.tc.RecvMatched.Add(1)
 	}
 	switch arr := m.(type) {
 	case *eagerArrival:
@@ -445,9 +504,13 @@ func (rt *Runtime) postPut(rank int, buf []byte, tag int, comp base.Comp, opts O
 	}
 	var ctx any
 	if comp != nil {
-		ctx = &sendOp{comp: comp, st: base.Status{
+		op := &sendOp{comp: comp, st: base.Status{
 			State: base.Done, Rank: rank, Tag: tag, Buffer: buf, Size: len(buf), Ctx: opts.Ctx,
 		}}
+		if d.tel.Timing() {
+			op.t0 = telemetry.Now()
+		}
+		ctx = op
 	}
 	w := opts.worker(d)
 	attempt := func() error {
@@ -456,15 +519,25 @@ func (rt *Runtime) postPut(rank int, buf []byte, tag int, comp base.Comp, opts O
 	}
 	err := attempt()
 	if err == nil {
+		if d.tel.Counting() {
+			d.tc.PostPut.Add(1)
+		}
+		if d.tel.Tracing() {
+			opts.ring(d).Add(telemetry.EvPost, d.Index(), rank, uint64(uint32(tag)))
+		}
 		return base.Status{State: base.Posted}, nil
 	}
 	if !retryable(err) {
 		return base.Status{}, err
 	}
 	if opts.DisallowRetry {
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
+		}
 		d.bq.Push(attempt)
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
+	d.noteRetry(err)
 	return classifyRetry(err), nil
 }
 
@@ -479,9 +552,13 @@ func (rt *Runtime) postGet(rank int, buf []byte, comp base.Comp, opts Options) (
 	}
 	var ctx any
 	if comp != nil {
-		ctx = &sendOp{comp: comp, st: base.Status{
+		op := &sendOp{comp: comp, st: base.Status{
 			State: base.Done, Rank: rank, Buffer: into, Size: len(into), Ctx: opts.Ctx,
 		}}
+		if d.tel.Timing() {
+			op.t0 = telemetry.Now()
+		}
+		ctx = op
 	}
 	w := opts.worker(d)
 	attempt := func() error {
@@ -490,15 +567,25 @@ func (rt *Runtime) postGet(rank int, buf []byte, comp base.Comp, opts Options) (
 	}
 	err := attempt()
 	if err == nil {
+		if d.tel.Counting() {
+			d.tc.PostGet.Add(1)
+		}
+		if d.tel.Tracing() {
+			opts.ring(d).Add(telemetry.EvPost, d.Index(), rank, 0)
+		}
 		return base.Status{State: base.Posted}, nil
 	}
 	if !retryable(err) {
 		return base.Status{}, err
 	}
 	if opts.DisallowRetry {
+		if d.tel.Counting() {
+			d.tc.BacklogParks.Add(1)
+		}
 		d.bq.Push(attempt)
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
+	d.noteRetry(err)
 	return classifyRetry(err), nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/telemetry"
 	"lci/internal/topo"
 )
 
@@ -66,6 +67,10 @@ type Config struct {
 	// has multiple domains (default LocalPlacement). WorstPlacement is
 	// the measurement adversary used by the NUMA placement gates.
 	Placement Placement
+	// Telemetry selects the runtime's initial observability state. The
+	// zero value is the default: per-layer counters and latency
+	// histograms on, lifecycle trace off (telemetry.Config).
+	Telemetry telemetry.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +127,10 @@ type Runtime struct {
 	rank    int
 	nranks  int
 	closed  bool
+	// tel is the runtime's observability root (internal/telemetry): the
+	// per-device counter blocks, latency histograms, and trace rings all
+	// register here, and Snapshot reads every layer through it.
+	tel *telemetry.Telemetry
 
 	// stripe hands unpinned posts a pool device round-robin; pins counts
 	// RegisterThread calls for the same purpose. Pinned threads never
@@ -157,7 +166,10 @@ func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Confi
 		handlers: newHandlerTable(),
 		rank:     rank,
 		nranks:   netctx.NumRanks(),
+		tel:      telemetry.New(cfg.Telemetry),
 	}
+	rt.pool.SetFlags(&rt.tel.Flags)
+	rt.tel.RegisterPool(rt.pool.TelemetrySnap)
 	if nd := cfg.Topology.Domains(); !cfg.Topology.Single() {
 		rt.domPins = make([]atomic.Uint64, nd)
 		rt.domStripe = make([]atomic.Uint64, nd)
@@ -183,6 +195,11 @@ func (rt *Runtime) NumRanks() int { return rt.nranks }
 
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Telemetry returns the runtime's observability root. Snapshot() on it is
+// the one-stop structured view of every layer; the flag methods toggle
+// counters, histograms, and the lifecycle trace at runtime.
+func (rt *Runtime) Telemetry() *telemetry.Telemetry { return rt.tel }
 
 // DefaultDevice returns the first pool device.
 func (rt *Runtime) DefaultDevice() *Device { return rt.defDev }
@@ -246,6 +263,10 @@ type Affinity struct {
 	dev    *Device
 	worker *packet.Worker
 	domain int // the registering thread's NUMA domain (UnknownDomain unpinned)
+	// ring is this thread's lifecycle trace ring: posts carrying the
+	// affinity record their events here (single-writer), not on the
+	// device's shared ring.
+	ring *telemetry.Ring
 }
 
 // Device returns the pinned device.
@@ -299,14 +320,20 @@ func (rt *Runtime) RegisterThreadAt(core int) *Affinity {
 	if idx < 0 || idx >= rt.devs.Len() {
 		idx = int(seq % uint64(rt.devs.Len())) // defensive: policy bug, stay in the pool
 	}
-	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorkerIn(dom), domain: dom}
+	return &Affinity{
+		dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorkerIn(dom), domain: dom,
+		ring: rt.tel.Trace().NewRing(),
+	}
 }
 
 // RegisterThreadOn pins the calling goroutine to pool device idx,
 // bypassing topology resolution (the worker is domain-unbound, so no
 // cross-domain penalty is ever charged for it).
 func (rt *Runtime) RegisterThreadOn(idx int) *Affinity {
-	return &Affinity{dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorker(), domain: topo.UnknownDomain}
+	return &Affinity{
+		dev: rt.devs.Get(idx), worker: rt.pool.RegisterWorker(), domain: topo.UnknownDomain,
+		ring: rt.tel.Trace().NewRing(),
+	}
 }
 
 // deviceDomains snapshots each pool device's bound domain (placement

@@ -19,6 +19,7 @@ import (
 
 	"lci/internal/mpmc"
 	"lci/internal/spin"
+	"lci/internal/telemetry"
 	"lci/internal/topo"
 )
 
@@ -46,6 +47,10 @@ type Pool struct {
 	packetsPerShard int
 	shards          *mpmc.Array[*shard]
 	allocated       atomic.Int64
+	// tel gates the get-path counters (nil = never count). Counters live
+	// per shard, so the hot path bumps owner-local memory; TelemetrySnap
+	// pays the summation on the reader side.
+	tel *telemetry.Flags
 }
 
 // shard embeds its deque by value and pads both ends so that no two
@@ -66,7 +71,13 @@ type shard struct {
 	// device worker; stealing never sees it, which at worst hides one
 	// packet per worker from a starving thief.
 	cached atomic.Pointer[Packet]
-	_      spin.Pad
+
+	// Telemetry counters, owner-mostly like the rest of the shard.
+	statGets    atomic.Int64
+	statBounces atomic.Int64
+	statSteals  atomic.Int64
+	statEmpty   atomic.Int64
+	_           spin.Pad
 }
 
 // Worker is a per-goroutine (or per-device) handle into the pool.
@@ -136,12 +147,22 @@ func (p *Pool) RegisterWorkerIn(dom int) *Worker {
 // first-touched from — the thread that uses it.
 func (w *Worker) Domain() int { return w.domain }
 
+// counting reports whether the pool's telemetry counters are live.
+func (p *Pool) counting() bool {
+	f := p.tel
+	return f != nil && f.Counting()
+}
+
 // Get pops a packet from the worker's own deque tail; on local exhaustion
 // it attempts to steal half of a random victim's packets from the head.
 // Get returns nil when no packet could be found — the nonblocking failure
 // that surfaces as a Retry status from posting operations.
 func (w *Worker) Get() *Packet {
 	if pkt := w.shard.cached.Swap(nil); pkt != nil {
+		if w.pool.counting() {
+			w.shard.statGets.Add(1)
+			w.shard.statBounces.Add(1)
+		}
 		return pkt
 	}
 	s := w.shard
@@ -149,9 +170,21 @@ func (w *Worker) Get() *Packet {
 	pkt, ok := s.dq.PopBack()
 	s.mu.Unlock()
 	if ok {
+		if w.pool.counting() {
+			s.statGets.Add(1)
+		}
 		return pkt
 	}
-	return w.steal()
+	pkt = w.steal()
+	if w.pool.counting() {
+		if pkt != nil {
+			s.statGets.Add(1)
+			s.statSteals.Add(1)
+		} else {
+			s.statEmpty.Add(1)
+		}
+	}
+	return pkt
 }
 
 // Put returns a packet to the worker's cache slot, or to its own deque
@@ -227,6 +260,25 @@ func (w *Worker) steal() *Packet {
 		return grabbed[0]
 	}
 	return nil
+}
+
+// SetFlags attaches the runtime's telemetry enable word; the pool's
+// get-path counters are dead until this is called (and cost one nil check
+// per Get even then).
+func (p *Pool) SetFlags(f *telemetry.Flags) { p.tel = f }
+
+// TelemetrySnap sums the per-shard counters into the pool's snapshot
+// slice (reader-side cost; see PoolSnap).
+func (p *Pool) TelemetrySnap() telemetry.PoolSnap {
+	s := telemetry.PoolSnap{Allocated: p.allocated.Load(), Available: int64(p.Available())}
+	for i, n := 0, p.shards.Len(); i < n; i++ {
+		sh := p.shards.Get(i)
+		s.Gets += sh.statGets.Load()
+		s.Bounces += sh.statBounces.Load()
+		s.Steals += sh.statSteals.Load()
+		s.Exhausted += sh.statEmpty.Load()
+	}
+	return s
 }
 
 // Allocated reports the total packets ever created in the pool.

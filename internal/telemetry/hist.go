@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the bucket count of the log2 latency histogram.
+//
+// Layout: bucket 0 holds values <= 0 (the "zero bucket": a clock that
+// did not advance between post and completion, or a caller recording a
+// sentinel); bucket b in 1..HistBuckets-2 holds values in
+// [2^(b-1), 2^b) nanoseconds; the top bucket is the overflow bucket for
+// everything >= 2^(HistBuckets-2) ns (~2.3 minutes at 40 buckets).
+const HistBuckets = 40
+
+// Hist is a lock-free log2-bucket histogram. Record is one bits.Len plus
+// three uncontended-in-the-common-case atomic adds; there is no lock and
+// no allocation, so completion-fire sites in the poller can call it
+// directly. Merge and Snap are reader-side and may race with writers;
+// like counter snapshots they are per-field consistent (Count may briefly
+// disagree with the bucket sum by the records in flight).
+type Hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b)
+	if b > HistBuckets-1 {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// BucketBounds returns bucket i's value range [lo, hi). Bucket 0 is
+// (-inf, 1) and the top bucket's hi is math.MaxInt64.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return math.MinInt64, 1
+	case i >= HistBuckets-1:
+		return 1 << (HistBuckets - 2), math.MaxInt64
+	default:
+		return 1 << (i - 1), 1 << i
+	}
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Merge adds other's current contents into h (used when thread-local
+// histograms are folded into a shared one; safe against concurrent
+// Record on either side).
+func (h *Hist) Merge(other *Hist) {
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// HistSnap is a loaded histogram. Buckets is trimmed to the highest
+// non-empty bucket (indices still line up with BucketBounds).
+type HistSnap struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snap loads the histogram (per-field consistent).
+func (h *Hist) Snap() HistSnap {
+	s := HistSnap{Count: h.count.Load(), Sum: h.sum.Load()}
+	top := -1
+	var buckets [HistBuckets]int64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		s.Buckets = append([]int64(nil), buckets[:top+1]...)
+	}
+	return s
+}
+
+// Sub returns the per-interval difference s - prev.
+func (s HistSnap) Sub(prev HistSnap) HistSnap {
+	out := HistSnap{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	n := len(s.Buckets)
+	if len(prev.Buckets) > n {
+		n = len(prev.Buckets)
+	}
+	if n == 0 {
+		return out
+	}
+	buckets := make([]int64, n)
+	top := -1
+	for i := range buckets {
+		var a, b int64
+		if i < len(s.Buckets) {
+			a = s.Buckets[i]
+		}
+		if i < len(prev.Buckets) {
+			b = prev.Buckets[i]
+		}
+		buckets[i] = a - b
+		if buckets[i] != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		out.Buckets = buckets[:top+1]
+	}
+	return out
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (s HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// writeText renders the non-empty buckets as one line per power of two.
+func (s HistSnap) writeText(w io.Writer) {
+	fmt.Fprintf(w, "  count=%d mean=%.0fns\n", s.Count, s.Mean())
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		switch {
+		case i == 0:
+			fmt.Fprintf(w, "  [ <=0ns ] %d\n", n)
+		case i == HistBuckets-1:
+			fmt.Fprintf(w, "  [ >=%dns ] %d\n", lo, n)
+		default:
+			fmt.Fprintf(w, "  [ %dns, %dns ) %d\n", lo, hi, n)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	var h Hist
+	// Zero and negative values land in the zero bucket.
+	h.Record(0)
+	h.Record(-5)
+	// 1 is the first value of bucket 1; 2^k sits at the bottom of bucket
+	// k+1 and 2^k-1 at the top of bucket k.
+	h.Record(1)
+	h.Record(2)
+	h.Record(3)
+	h.Record(4)
+	s := h.Snap()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := []int64{2, 1, 2, 1} // [<=0]=2, [1,2)=1, [2,4)=2, [4,8)=1
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, n := range want {
+		if s.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Buckets[i], n, s.Buckets)
+		}
+	}
+	if s.Sum != 0+(-5)+1+2+3+4 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	// Every power of two sits at the bottom of its own bucket.
+	for b := 1; b < HistBuckets-1; b++ {
+		lo, hi := BucketBounds(b)
+		if got := bucketOf(lo); got != b {
+			t.Fatalf("bucketOf(%d) = %d, want %d", lo, got, b)
+		}
+		if got := bucketOf(hi - 1); got != b {
+			t.Fatalf("bucketOf(%d) = %d, want %d", hi-1, got, b)
+		}
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	lo, _ := BucketBounds(HistBuckets - 1)
+	h.Record(lo)                     // exactly the overflow threshold
+	h.Record(1 << 60)                // far beyond it
+	h.Record(int64(^uint64(0) >> 1)) // MaxInt64
+	s := h.Snap()
+	if len(s.Buckets) != HistBuckets {
+		t.Fatalf("expected the top bucket to be populated, got %d buckets", len(s.Buckets))
+	}
+	if s.Buckets[HistBuckets-1] != 3 {
+		t.Fatalf("overflow bucket = %d, want 3", s.Buckets[HistBuckets-1])
+	}
+}
+
+// TestHistConcurrentRecordMerge hammers Record on two histograms while a
+// third goroutine repeatedly merges and snapshots; run under -race this
+// is the lock-freedom proof, and the final counts must balance exactly.
+func TestHistConcurrentRecordMerge(t *testing.T) {
+	const writers = 8
+	const perWriter = 10000
+	var src, dst Hist
+	var writerWG, mergerWG sync.WaitGroup
+	stop := make(chan struct{})
+	mergerWG.Add(1)
+	go func() {
+		defer mergerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var scratch Hist
+				scratch.Merge(&src)
+				_ = scratch.Snap()
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			for j := int64(0); j < perWriter; j++ {
+				src.Record(seed + j)
+			}
+		}(int64(i * 1000))
+	}
+	writerWG.Wait()
+	close(stop)
+	mergerWG.Wait()
+
+	dst.Merge(&src)
+	s := dst.Snap()
+	if s.Count != writers*perWriter {
+		t.Fatalf("merged count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketSum int64
+	for _, n := range s.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistSnapSub(t *testing.T) {
+	var h Hist
+	h.Record(10)
+	h.Record(100)
+	before := h.Snap()
+	h.Record(1000)
+	diff := h.Snap().Sub(before)
+	if diff.Count != 1 || diff.Sum != 1000 {
+		t.Fatalf("diff = %+v, want count 1 sum 1000", diff)
+	}
+	var bucketSum int64
+	for _, n := range diff.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != 1 {
+		t.Fatalf("diff bucket sum = %d, want 1 (%v)", bucketSum, diff.Buckets)
+	}
+}

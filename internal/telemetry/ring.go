@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind classifies one message-lifecycle event.
+type EventKind uint8
+
+// Lifecycle events, in the order a rendezvous message traverses them.
+const (
+	EvPost     EventKind = iota + 1 // posting call accepted an operation
+	EvInject                        // eager post completed immediately at the sender
+	EvRTS                           // rendezvous announcement posted
+	EvRTR                           // rendezvous invitation sent (receiver side)
+	EvWrite                         // rendezvous payload write posted (sender side)
+	EvDeliver                       // payload delivered (matching insert / handler fire)
+	EvComplete                      // completion object signaled / handler returned
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPost:
+		return "post"
+	case EvInject:
+		return "inject"
+	case EvRTS:
+		return "rts"
+	case EvRTR:
+		return "rtr"
+	case EvWrite:
+		return "write"
+	case EvDeliver:
+		return "deliver"
+	case EvComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("ev(%d)", uint8(k))
+	}
+}
+
+// Event is one decoded trace-ring entry.
+type Event struct {
+	TS    int64     `json:"ts_ns"` // monotonic, comparable across rings (telemetry.Now)
+	Kind  EventKind `json:"kind"`
+	Ring  int       `json:"ring"`  // which ring recorded it (device or thread)
+	Dev   int       `json:"dev"`   // device index the event happened on
+	Rank  int       `json:"rank"`  // peer rank (or local rank for deliveries)
+	Token uint64    `json:"token"` // op token: rendezvous wire token, or tag for eager events
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10dns ring%-2d dev%-2d %-8s rank=%-3d token=%#x",
+		e.TS, e.Ring, e.Dev, e.Kind, e.Rank, e.Token)
+}
+
+// slot is one ring entry: a sequence word plus three payload words. The
+// writer stores seq last; a reader seeing the same non-zero seq before
+// and after its payload reads has a consistent slot (seqlock). A writer
+// reclaiming a slot zeroes seq first, so a reader racing one writer
+// never stitches half of an old event to half of a new one.
+//
+// The seqlock guard is exact for single-writer rings — which is how the
+// runtime hands them out (one per device, one per registered thread), so
+// in the paper's dedicated-resource mode every ring has one writer. When
+// several threads share a device ring AND the ring wraps mid-dump, two
+// writers can collide on one slot and a dumped event may interleave
+// their fields; all accesses are atomic words, so this is memory-safe
+// and bounded to that slot — acceptable for a best-effort post-mortem
+// trace, exact again once writers quiesce.
+type slot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	tok  atomic.Uint64
+	meta atomic.Uint64 // kind(8) | dev(16) | rank(32)
+}
+
+// Ring is one writer population's fixed-size lifecycle ring. The runtime
+// hands one to every device and one to every registered thread, so in
+// the paper's dedicated-resource mode each ring is single-writer; slot
+// claims go through an atomic counter, so shared-device mode (several
+// threads posting on one device) stays safe too.
+//
+// Storage materializes on the first Add — a ring created while tracing
+// is disabled costs ~five words until the flag is flipped.
+type Ring struct {
+	id    int
+	depth int
+	pos   atomic.Uint64
+	slots atomic.Pointer[[]slot]
+}
+
+func packMeta(kind EventKind, dev, rank int) uint64 {
+	return uint64(kind) | uint64(uint16(dev))<<8 | uint64(uint32(rank))<<24
+}
+
+func unpackMeta(m uint64) (kind EventKind, dev, rank int) {
+	return EventKind(m & 0xff), int(uint16(m >> 8)), int(int32(uint32(m >> 24)))
+}
+
+// Add records one event. Call sites must guard with Flags.Tracing() so
+// the disabled path never reaches here (and never evaluates arguments).
+func (r *Ring) Add(kind EventKind, dev, rank int, token uint64) {
+	slots := r.slots.Load()
+	if slots == nil {
+		slots = r.materialize()
+	}
+	i := r.pos.Add(1) // first event gets seq 1; 0 means "never written"
+	s := &(*slots)[(i-1)&uint64(r.depth-1)]
+	s.seq.Store(0) // reclaim: readers treat the slot as in-progress
+	s.ts.Store(Now())
+	s.tok.Store(token)
+	s.meta.Store(packMeta(kind, dev, rank))
+	s.seq.Store(i)
+}
+
+func (r *Ring) materialize() *[]slot {
+	fresh := make([]slot, r.depth)
+	if r.slots.CompareAndSwap(nil, &fresh) {
+		return &fresh
+	}
+	return r.slots.Load() // concurrent first writer won; adopt its storage
+}
+
+// dump appends the ring's currently-consistent events to out.
+func (r *Ring) dump(out []Event) []Event {
+	slots := r.slots.Load()
+	if slots == nil {
+		return out
+	}
+	for i := range *slots {
+		s := &(*slots)[i]
+		seq1 := s.seq.Load()
+		if seq1 == 0 {
+			continue // never written, or a writer is mid-flight
+		}
+		ts := s.ts.Load()
+		tok := s.tok.Load()
+		meta := s.meta.Load()
+		if s.seq.Load() != seq1 {
+			continue // torn: a writer overtook us between the reads
+		}
+		kind, dev, rank := unpackMeta(meta)
+		out = append(out, Event{TS: ts, Kind: kind, Ring: r.id, Dev: dev, Rank: rank, Token: tok})
+	}
+	return out
+}
+
+// DefaultTraceDepth is the per-ring event capacity when Config.TraceDepth
+// is zero.
+const DefaultTraceDepth = 4096
+
+// Trace owns the runtime's set of lifecycle rings: one per device plus
+// one per registered thread.
+type Trace struct {
+	depth int
+	mu    sync.Mutex
+	rings []*Ring
+}
+
+func newTrace(depth int) *Trace {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	// Round up to a power of two so slot claims can mask instead of mod.
+	d := 1
+	for d < depth {
+		d <<= 1
+	}
+	return &Trace{depth: d}
+}
+
+// Depth returns the per-ring capacity.
+func (t *Trace) Depth() int { return t.depth }
+
+// NewRing registers and returns a fresh ring for one writer population.
+func (t *Trace) NewRing() *Ring {
+	t.mu.Lock()
+	r := &Ring{id: len(t.rings), depth: t.depth}
+	t.rings = append(t.rings, r)
+	t.mu.Unlock()
+	return r
+}
+
+// Dump merges every ring's consistent entries and returns them ordered
+// by timestamp (ties broken by ring id, so repeated dumps of a quiesced
+// trace are stable). Events overwritten or mid-write during the walk are
+// skipped — the dump is a best-effort post-mortem view, exact once
+// writers quiesce.
+func (t *Trace) Dump() []Event {
+	t.mu.Lock()
+	rings := make([]*Ring, len(t.rings))
+	copy(rings, t.rings)
+	t.mu.Unlock()
+	var out []Event
+	for _, r := range rings {
+		out = r.dump(out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].Ring != out[j].Ring {
+			return out[i].Ring < out[j].Ring
+		}
+		return out[i].Token < out[j].Token
+	})
+	return out
+}

@@ -199,11 +199,13 @@ type World struct {
 	platform Platform
 	n        int
 
-	// topoOverride/placeOverride hold WithTopology/WithPlacement choices
-	// and are overlaid onto coreCfg after all options ran, so option
-	// order (e.g. WithRuntimeConfig last) cannot silently discard them.
+	// topoOverride/placeOverride/telOverride hold WithTopology/
+	// WithPlacement/WithTelemetry choices and are overlaid onto coreCfg
+	// after all options ran, so option order (e.g. WithRuntimeConfig
+	// last) cannot silently discard them.
 	topoOverride  *Topology
 	placeOverride Placement
+	telOverride   *TelemetryConfig
 }
 
 // NewWorld creates an n-rank world. Options select the simulated platform
@@ -218,6 +220,9 @@ func NewWorld(n int, opts ...WorldOption) *World {
 	}
 	if w.placeOverride != nil {
 		w.coreCfg.Placement = w.placeOverride
+	}
+	if w.telOverride != nil {
+		w.coreCfg.Telemetry = *w.telOverride
 	}
 	if w.backend == nil {
 		w.backend = w.platform.Backend()

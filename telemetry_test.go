@@ -1,0 +1,233 @@
+package lci_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lci"
+	"lci/internal/core"
+	"lci/internal/telemetry"
+)
+
+// TestTelemetrySnapshotUnderFlood hammers Snapshot from a dedicated
+// goroutine while eight threads flood active messages across a 2-rank
+// world — the tearing-fix regression test at the integration level
+// (run it under -race). Once the flood drains, the per-layer counters
+// must balance: every delivery is either a handler fire on one of the
+// two ranks, and the post-path counters account for every accepted post.
+func TestTelemetrySnapshotUnderFlood(t *testing.T) {
+	const threads = 8
+	const perThread = 200
+	const msgSize = 512 // above InjectSize: the eager+completion path
+	w := lci.NewWorld(2, lci.WithRuntimeConfig(core.Config{NumDevices: threads}))
+	defer w.Close()
+	err := w.Launch(func(rt *lci.Runtime) error {
+		peer := 1 - rt.Rank()
+		var received atomic.Int64
+		rc := rt.RegisterHandler(func(st lci.Status) { received.Add(1) })
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+
+		// Continuous snapshotter: per-field atomic loads must never tear
+		// and never observe a negative or decreasing counter.
+		var stop atomic.Bool
+		var snapWG sync.WaitGroup
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			var prevFires int64
+			for !stop.Load() {
+				s := rt.Telemetry().Snapshot()
+				tot := s.Total()
+				if tot.AMFires < prevFires {
+					panic(fmt.Sprintf("AMFires went backwards: %d -> %d", prevFires, tot.AMFires))
+				}
+				prevFires = tot.AMFires
+			}
+		}()
+
+		var wg sync.WaitGroup
+		var floodStop atomic.Bool
+		for ti := 0; ti < threads; ti++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				dev := rt.Device(ti)
+				buf := make([]byte, msgSize)
+				for m := 0; m < perThread; m++ {
+					for {
+						st, err := rt.PostAM(peer, buf, rc, lci.WithDevice(dev))
+						if err != nil {
+							panic(err)
+						}
+						if !st.IsRetry() {
+							break
+						}
+						dev.Progress()
+					}
+				}
+				for !floodStop.Load() {
+					dev.Progress()
+				}
+			}(ti)
+		}
+		want := int64(threads * perThread)
+		spinUntil(t, rt, func() bool { return received.Load() == want })
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+		floodStop.Store(true)
+		wg.Wait()
+		stop.Store(true)
+		snapWG.Wait()
+
+		// Quiesced: the snapshot must balance exactly.
+		s := rt.Telemetry().Snapshot()
+		tot := s.Total()
+		// Every flood message is above InjectSize so each accepted post is
+		// exactly one PostEager; PostInline only sees Barrier control sends.
+		if tot.PostEager != want {
+			return fmt.Errorf("rank %d: PostEager = %d (inline %d), want %d",
+				rt.Rank(), tot.PostEager, tot.PostInline, want)
+		}
+		if tot.AMFires != want {
+			return fmt.Errorf("rank %d: AMFires = %d, want %d", rt.Rank(), tot.AMFires, want)
+		}
+		if s.Pool.Gets == 0 {
+			return fmt.Errorf("rank %d: packet pool saw no traffic", rt.Rank())
+		}
+		if s.Empty() {
+			return fmt.Errorf("rank %d: snapshot Empty after %d messages", rt.Rank(), want)
+		}
+		// The text dump renders every layer.
+		txt := s.String()
+		for _, section := range []string{"== posts ==", "== active messages ==", "== packet pool ==", "== devices =="} {
+			if !strings.Contains(txt, section) {
+				return fmt.Errorf("rank %d: dump missing %q:\n%s", rt.Rank(), section, txt)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryOptionOrder checks WithTelemetry survives a later
+// WithRuntimeConfig, like WithTopology does.
+func TestTelemetryOptionOrder(t *testing.T) {
+	w := lci.NewWorld(1,
+		lci.WithTelemetry(lci.TelemetryConfig{Disable: true}),
+		lci.WithRuntimeConfig(core.Config{NumDevices: 2}),
+	)
+	defer w.Close()
+	err := w.Launch(func(rt *lci.Runtime) error {
+		tel := rt.Telemetry()
+		if tel.Counting() || tel.Timing() {
+			return fmt.Errorf("WithTelemetry(Disable) was discarded by a later WithRuntimeConfig")
+		}
+		if rt.NumDevices() != 2 {
+			return fmt.Errorf("WithRuntimeConfig was discarded: %d devices", rt.NumDevices())
+		}
+		tel.Enable(lci.TelemetryFlagCounters)
+		if !tel.Counting() {
+			return fmt.Errorf("runtime re-enable failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryTraceLifecycle follows one eager AM and one rendezvous
+// send through the lifecycle trace ring: the merged dump must contain the
+// protocol's events, time-ordered.
+func TestTelemetryTraceLifecycle(t *testing.T) {
+	w := lci.NewWorld(2, lci.WithTelemetry(lci.TelemetryConfig{Trace: true, TraceDepth: 256}))
+	defer w.Close()
+	err := w.Launch(func(rt *lci.Runtime) error {
+		peer := 1 - rt.Rank()
+		var got atomic.Int64
+		rc := rt.RegisterHandler(func(st lci.Status) { got.Add(1) })
+		cq := lci.NewCQ()
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+		if rt.Rank() == 0 {
+			// Eager AM (inline-sized) then a rendezvous send.
+			st := postAM(t, rt, peer, []byte("ping"), rc)
+			if !st.IsDone() && !st.IsPosted() {
+				return fmt.Errorf("AM status %v", st)
+			}
+			big := make([]byte, rt.MaxEager()+1)
+			for {
+				st, err := rt.PostSend(peer, big, 7, cq)
+				if err != nil {
+					return err
+				}
+				if !st.IsRetry() {
+					break
+				}
+				rt.Progress()
+			}
+			spinUntil(t, rt, func() bool { _, ok := cq.Pop(); return ok })
+		} else {
+			rbuf := make([]byte, rt.MaxEager()+1)
+			rcq := lci.NewCQ()
+			if _, err := rt.PostRecv(0, rbuf, 7, rcq); err != nil {
+				return err
+			}
+			spinUntil(t, rt, func() bool { _, ok := rcq.Pop(); return ok })
+			spinUntil(t, rt, func() bool { return got.Load() == 1 })
+		}
+		if err := rt.Barrier(); err != nil {
+			return err
+		}
+		ev := rt.Telemetry().Trace().Dump()
+		if len(ev) == 0 {
+			return fmt.Errorf("rank %d: trace enabled but dump empty", rt.Rank())
+		}
+		kinds := map[lci.TraceEventKind]bool{}
+		for i, e := range ev {
+			kinds[e.Kind] = true
+			if i > 0 && e.TS < ev[i-1].TS {
+				return fmt.Errorf("rank %d: dump out of time order at %d", rt.Rank(), i)
+			}
+		}
+		// Sender saw the announcement+write, receiver the delivery.
+		if rt.Rank() == 0 {
+			for _, k := range []lci.TraceEventKind{telemetry.EvInject, telemetry.EvRTS, telemetry.EvWrite} {
+				if !kinds[k] {
+					return fmt.Errorf("rank 0: trace missing %v (have %v)", k, kinds)
+				}
+			}
+		} else if !kinds[telemetry.EvDeliver] || !kinds[telemetry.EvRTR] {
+			return fmt.Errorf("rank 1: trace missing deliver/rtr (have %v)", kinds)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default worlds keep the ring off: no events, ~no memory.
+	w2 := lci.NewWorld(1)
+	defer w2.Close()
+	err = w2.Launch(func(rt *lci.Runtime) error {
+		if rt.Telemetry().Tracing() {
+			return fmt.Errorf("trace on by default")
+		}
+		if ev := rt.Telemetry().Trace().Dump(); len(ev) != 0 {
+			return fmt.Errorf("disabled trace dumped %d events", len(ev))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
