@@ -13,6 +13,8 @@
 //	lci-bench -mode am              # handler vs cq-shim AM throughput
 //	lci-bench -mode agg             # coalesced vs naive record throughput + homing
 //	lci-bench -mode rankscale       # latency sweep to 256 ranks + sparse connectivity
+//	lci-bench -mode chaos           # seeded fault-injection soak + peer-death scenario
+//	lci-bench -mode chaos -seed 7   # same, pinned injector seed (runs reproduce per seed)
 //	lci-bench -stats                # run a mixed workload, dump the telemetry snapshot
 //	lci-bench -stats -trace         # same, with the message-lifecycle trace ring on
 //	lci-bench -table1 -platforms
@@ -31,7 +33,8 @@ import (
 
 var (
 	figFlag   = flag.String("fig", "", "figure to regenerate: 3, 4, 5, or all")
-	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement), am (handler vs cq-shim AM throughput), agg (coalesced vs naive record throughput + NUMA homing), or rankscale (p2p/collective latency at 8..256 ranks + sparse-connectivity stats)")
+	modeFlag  = flag.String("mode", "", "extra suite to run: coll (graph-driven collective latency + placement), am (handler vs cq-shim AM throughput), agg (coalesced vs naive record throughput + NUMA homing), rankscale (p2p/collective latency at 8..256 ranks + sparse-connectivity stats), or chaos (seeded fault-injection soak, peer-death scenario, fault-free-path cost)")
+	seedFlag  = flag.Uint64("seed", 42, "with -mode chaos: the fault injector seed (a chaos run is reproducible from it)")
 	itersFlag = flag.Int("iters", 2000, "ping-pong iterations per pair")
 	maxPairs  = flag.Int("maxpairs", 16, "largest pair/thread count in sweeps")
 	table1    = flag.Bool("table1", false, "print the Table 1 post_comm paradigm matrix")
@@ -209,6 +212,41 @@ func rankscale() {
 	}
 }
 
+func chaos() {
+	fmt.Println("== Chaos: mixed AM + rendezvous + allreduce soak under a seeded drop/dup/delay schedule ==")
+	const threads = 8
+	iters := *itersFlag / 8
+	if iters < 64 {
+		iters = 64
+	}
+	for _, plat := range lci.Platforms() {
+		res, err := bench.ChaosSoak(plat, *seedFlag, threads, iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error (reproduce with -seed %d): %v\n", *seedFlag, err)
+			continue
+		}
+		fmt.Println(res)
+	}
+	fmt.Println("== Chaos: peer-death scenario (refused posts, swept receives, failing collectives) ==")
+	for _, plat := range lci.Platforms() {
+		res, err := bench.ChaosKill(plat, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error (reproduce with -seed %d): %v\n", *seedFlag, err)
+			continue
+		}
+		fmt.Println(res)
+	}
+	fmt.Println("== Chaos: fault-free-path cost (hardening armed, no faults scheduled) ==")
+	for _, hardened := range []bool{false, true} {
+		res, err := bench.ChaosRate(lci.SimExpanse(), threads, *itersFlag, hardened)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		fmt.Println(res)
+	}
+}
+
 func stats() {
 	fmt.Println("== Telemetry: per-layer snapshot after a mixed AM + rendezvous workload ==")
 	threads := 8
@@ -270,6 +308,8 @@ func main() {
 		agg()
 	case "rankscale":
 		rankscale()
+	case "chaos":
+		chaos()
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)

@@ -1,0 +1,84 @@
+package lci_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lci"
+	"lci/internal/agg"
+	"lci/internal/comp"
+	"lci/internal/core"
+	"lci/internal/network"
+)
+
+// TestErrorTaxonomyAliases pins the root re-exports to the internal
+// sentinels they alias: errors.Is must round-trip in both directions so
+// user code matching on lci.ErrX catches errors minted deep in the
+// stack, and vice versa.
+func TestErrorTaxonomyAliases(t *testing.T) {
+	pairs := []struct {
+		name     string
+		root     error
+		internal error
+	}{
+		{"ErrTxFull", lci.ErrTxFull, network.ErrTxFull},
+		{"ErrAggBusy", lci.ErrAggBusy, agg.ErrBusy},
+		{"ErrTimeout", lci.ErrTimeout, core.ErrTimeout},
+		{"ErrPeerDead", lci.ErrPeerDead, core.ErrPeerDead},
+		{"ErrAborted", lci.ErrAborted, comp.ErrAborted},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			if !errors.Is(p.root, p.internal) {
+				t.Errorf("errors.Is(lci.%s, internal) = false", p.name)
+			}
+			if !errors.Is(p.internal, p.root) {
+				t.Errorf("errors.Is(internal, lci.%s) = false", p.name)
+			}
+			wrapped := fmt.Errorf("op on rank 3: %w", p.internal)
+			if !errors.Is(wrapped, p.root) {
+				t.Errorf("wrapped internal sentinel does not match lci.%s", p.name)
+			}
+			if errors.Is(p.root, errors.New("unrelated")) {
+				t.Errorf("lci.%s matches an unrelated error", p.name)
+			}
+		})
+	}
+	// The five sentinels must be distinct: matching one must not match
+	// another, or callers cannot branch on failure cause.
+	for i, a := range pairs {
+		for j, b := range pairs {
+			if i != j && errors.Is(a.root, b.root) {
+				t.Errorf("lci.%s matches lci.%s", a.name, b.name)
+			}
+		}
+	}
+}
+
+// TestErrorTaxonomyPeerDeadPath drives one taxonomy member through the
+// real stack: posts against a rank the injector declared dead must be
+// refused with an error matching lci.ErrPeerDead at the root surface.
+func TestErrorTaxonomyPeerDeadPath(t *testing.T) {
+	inj := lci.NewFaultInjector(7, 2)
+	w := lci.NewWorld(2, lci.WithPlatform(lci.SimExpanse()), lci.WithFaultInjector(inj))
+	defer w.Close()
+	err := w.Launch(func(rt *lci.Runtime) error {
+		if rt.Rank() != 0 {
+			return nil
+		}
+		inj.KillRank(1)
+		buf := make([]byte, 8)
+		if _, perr := rt.PostSend(1, buf, 0, lci.NewCounter()); !errors.Is(perr, lci.ErrPeerDead) {
+			return fmt.Errorf("PostSend to dead rank: err = %v, want lci.ErrPeerDead", perr)
+		}
+		rc := rt.RegisterHandler(func(lci.Status) {})
+		if _, perr := rt.PostAM(1, buf, rc); !errors.Is(perr, lci.ErrPeerDead) {
+			return fmt.Errorf("PostAM to dead rank: err = %v, want lci.ErrPeerDead", perr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

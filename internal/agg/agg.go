@@ -121,6 +121,13 @@ type Config struct {
 	// negative disables the penalty model). It only applies when both the
 	// producer's and the buffer's home domain are known and differ.
 	CrossMemNs int
+	// OnError is invoked when a sealed buffer can never be delivered (the
+	// destination rank died, the runtime closed): once per dropped batch,
+	// with the destination, the number of coalesced records lost, and the
+	// typed error. The buffer recycles after the callback so the shard
+	// keeps its population and Flush still quiesces. nil = count only
+	// (DroppedRecords).
+	OnError func(dest, records int, err error)
 }
 
 func (c Config) withDefaults(rt *core.Runtime) Config {
@@ -153,9 +160,17 @@ type buffer struct {
 	recs int
 }
 
-// Signal recycles the buffer after its batch's transmit completed.
+// Signal recycles the buffer after its batch's transmit completed — or
+// error-completes the batch when the completion carries a failure (the
+// destination died while the post was parked on a device backlog).
 // Runs in poller context; the shard spinlock is append-only-short.
-func (b *buffer) Signal(base.Status) { b.sh.recycle(b) }
+func (b *buffer) Signal(st base.Status) {
+	if st.Err != nil {
+		b.sh.fail(b, st.Err)
+		return
+	}
+	b.sh.recycle(b)
+}
 
 // shard is the aggregation state for one (destination, device) pair. The
 // lock covers only pointer/slice shuffling and the record copy; posts and
@@ -225,7 +240,14 @@ type Aggregator struct {
 	epoch atomic.Uint64
 	tel   *telemetry.Telemetry
 	tc    *telemetry.AggCounters
+	// dropped counts records lost to undeliverable batches (dest died,
+	// runtime closed); see Config.OnError.
+	dropped atomic.Int64
 }
+
+// DroppedRecords reports how many coalesced records were dropped because
+// their batch became undeliverable (destination died, runtime closed).
+func (ag *Aggregator) DroppedRecords() int64 { return ag.dropped.Load() }
 
 // New builds an aggregator over rt's current device pool (one shard
 // column per pool device; shards materialize per destination on first
@@ -396,6 +418,12 @@ func (sh *shard) post(b *buffer, t *Thread) {
 		Device: sh.dev, Worker: t.w, RComp: sh.ag.rcomp,
 	})
 	if err != nil {
+		if errors.Is(err, core.ErrPeerDead) || errors.Is(err, core.ErrClosed) {
+			// The batch can never be delivered: error-complete it (record
+			// count to OnError) instead of wedging Flush or crashing.
+			sh.fail(b, err)
+			return
+		}
 		panic("agg: PostAM: " + err.Error())
 	}
 	switch {
@@ -409,6 +437,19 @@ func (sh *shard) post(b *buffer, t *Thread) {
 	case st.IsDone():
 		sh.recycle(b)
 	}
+}
+
+// fail drops a sealed buffer whose batch can never be delivered: the
+// record count is tallied, OnError (if any) is told, and the buffer
+// recycles so the shard's population — and Flush's quiesce condition —
+// stays intact.
+func (sh *shard) fail(b *buffer, err error) {
+	recs := b.recs
+	sh.ag.dropped.Add(int64(recs))
+	if fn := sh.ag.cfg.OnError; fn != nil {
+		fn(sh.dest, recs, err)
+	}
+	sh.recycle(b)
 }
 
 // recycle returns a buffer to its shard's freelist (TxDone path: poller

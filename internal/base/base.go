@@ -78,6 +78,12 @@ type Status struct {
 	Buffer []byte // message buffer (receive side: the delivered data)
 	Size   int    // message size in bytes
 	Ctx    any    // user context attached at posting time
+	// Err is non-nil when the operation terminated unsuccessfully: the
+	// completion object is still signaled exactly once, but the transfer
+	// did not happen (rendezvous timeout, dead peer, runtime shutdown,
+	// aborted graph node). Retry is NOT an error — a Retry status always
+	// has Err == nil.
+	Err error
 }
 
 // IsDone reports whether the operation completed immediately.
@@ -88,6 +94,9 @@ func (s Status) IsPosted() bool { return s.State == Posted }
 
 // IsRetry reports whether the operation must be retried.
 func (s Status) IsRetry() bool { return s.State == Retry }
+
+// Failed reports whether the operation terminated with an error.
+func (s Status) Failed() bool { return s.Err != nil }
 
 // Comp is a completion object (§4.2.6): a functor with a signal method.
 // The runtime invokes Signal exactly once per completed operation that

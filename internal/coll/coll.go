@@ -185,6 +185,12 @@ type Comm struct {
 	// they are quiescent when reused.
 	bsend, brecv comp.Counter
 	bpay, brbuf  [1]byte
+
+	// Failure-domain poisoning (checkDead): deadGen caches the runtime's
+	// fault generation; poisoned latches once any rank dies. A comm spans
+	// every rank, so one death dooms every collective on it.
+	deadGen  uint64
+	poisoned bool
 }
 
 // New builds the collectives context for rt, allocating its dedicated
@@ -266,6 +272,36 @@ func (c *Comm) drainLive(o core.Options, self *Handle) {
 	}
 }
 
+// checkDead polls the fault domain from a collective wait loop. The
+// dead-rank sweep in core only reaches receives posted against the dead
+// rank itself; a collective can also strand a receive from a rank that is
+// still alive — the peer's graph aborted its send after its own
+// dead-peer failure, so the message will never come. Since the comm
+// spans every rank, any death makes every in-flight (and future)
+// collective include a dead member, so on a generation change the comm
+// is poisoned and every receive parked in its dedicated engine is
+// error-completed with ErrPeerDead; the graphs' abort cascades then
+// finish them and Wait returns a typed error instead of spinning. While
+// poisoned the sweep repeats on every poll, because deferred posts
+// drained after the first sweep park new — equally doomed — receives.
+// The healthy-path cost is one atomic load and a compare.
+//
+// In-flight sends need no cancellation: eager sends complete at TxDone
+// regardless of the receiver, and a rendezvous send whose matching
+// receive was cancelled on the peer is bounded by the retransmit layer's
+// timeout (arm Config.RendezvousTimeoutEpochs when running hardened
+// collectives with rendezvous-sized payloads).
+func (c *Comm) checkDead() {
+	gen := c.rt.FaultGen()
+	if gen != c.deadGen {
+		c.deadGen = gen
+		c.poisoned = true // generations only grow; any change means a death
+	}
+	if c.poisoned {
+		c.rt.CancelRecvs(c.me, core.ErrPeerDead)
+	}
+}
+
 // unlive removes a finished handle from the live list.
 func (c *Comm) unlive(h *Handle) {
 	for i, v := range c.live {
@@ -321,18 +357,32 @@ func (c *Comm) Barrier(o core.Options) error {
 			}
 			pr.step(c.rt, o)
 			c.drainLive(o, nil)
+			c.checkDead()
 		}
 		// A Done receive (the peer's message had already arrived) never
 		// signals the counter; only wait when the receive was parked.
+		// checkDead unsticks a receive stranded by a peer's failure: the
+		// cancellation signals brecv with the error, ending the loop.
 		for rst.IsPosted() && c.brecv.Load() < 1 {
 			pr.step(c.rt, o)
 			c.drainLive(o, nil)
+			c.checkDead()
 		}
 		// Inject-sized sends complete at post time and never signal; a
 		// Posted send must quiesce before its counter is reused.
 		for sst.IsPosted() && c.bsend.Load() < 1 {
 			pr.step(c.rt, o)
 			c.drainLive(o, nil)
+			c.checkDead()
+		}
+		// A counter may have been signaled with an error (the peer died
+		// mid-round and the parked receive was swept): the barrier cannot
+		// complete, report instead of spinning into the next round.
+		if err := c.brecv.Err(); err != nil {
+			return err
+		}
+		if err := c.bsend.Err(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -369,11 +419,19 @@ func (h *Handle) fail(err error) {
 	h.errMu.Unlock()
 }
 
-// Err returns the first error any of the collective's operations hit.
+// Err returns the first error any of the collective's operations hit:
+// post-time failures recorded by the op nodes, or completion-time
+// failures (a peer died mid-collective, a rendezvous timed out) latched
+// by the graph's abort cascade. A failed collective still completes —
+// Wait returns, never hangs — with this error.
 func (h *Handle) Err() error {
 	h.errMu.Lock()
-	defer h.errMu.Unlock()
-	return h.err
+	err := h.err
+	h.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.g.Err()
 }
 
 // Start launches the collective: the graph's root operations post from
@@ -399,6 +457,7 @@ func (h *Handle) Test() bool {
 	if h.finished {
 		return true
 	}
+	h.c.checkDead()
 	if !h.g.Test() {
 		return false
 	}

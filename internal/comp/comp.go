@@ -5,29 +5,57 @@
 package comp
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"lci/internal/base"
 	"lci/internal/mpmc"
 )
 
+// ErrAborted is delivered to a graph node's completion when an upstream
+// node failed: the node's operation was never started, and its dependents
+// are aborted in turn. It lets Wait-style loops over a failed graph
+// terminate with a typed error instead of wedging.
+var ErrAborted = errors.New("comp: aborted by upstream failure")
+
 // Counter records the number of times it has been signaled. It is an
-// atomic integer (§5.1.4).
+// atomic integer (§5.1.4). It additionally latches the first error status
+// it sees, so a thread spinning on Load can check Err after the count
+// arrives.
 type Counter struct {
-	n atomic.Int64
+	n   atomic.Int64
+	err atomic.Pointer[error]
 }
 
 // NewCounter returns a zeroed counter.
 func NewCounter() *Counter { return &Counter{} }
 
-// Signal increments the counter; the status is discarded.
-func (c *Counter) Signal(base.Status) { c.n.Add(1) }
+// Signal increments the counter; the first error status is latched, the
+// rest of the status is discarded.
+func (c *Counter) Signal(st base.Status) {
+	if st.Err != nil {
+		c.err.CompareAndSwap(nil, &st.Err)
+	}
+	c.n.Add(1)
+}
 
 // Load returns the number of signals received so far.
 func (c *Counter) Load() int64 { return c.n.Load() }
 
+// Err returns the first error delivered to the counter, or nil.
+func (c *Counter) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Reset sets the counter back to zero and returns the previous value.
-func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+// The latched error, if any, is cleared.
+func (c *Counter) Reset() int64 {
+	c.err.Store(nil)
+	return c.n.Swap(0)
+}
 
 var _ base.Comp = (*Counter)(nil)
 
@@ -88,6 +116,17 @@ func (s *Sync) Test() bool { return s.ready.Load() == s.expected }
 // Statuses returns the collected statuses. Valid only after Test reports
 // true.
 func (s *Sync) Statuses() []base.Status { return s.statuses[:s.ready.Load()] }
+
+// Err returns the first error among the statuses collected so far. Like
+// Statuses, the answer is final only after Test reports true.
+func (s *Sync) Err() error {
+	for _, st := range s.Statuses() {
+		if st.Err != nil {
+			return st.Err
+		}
+	}
+	return nil
+}
 
 // Reset rearms the synchronizer for reuse. The caller must guarantee no
 // in-flight signals.

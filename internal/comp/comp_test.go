@@ -1,6 +1,7 @@
 package comp_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -26,6 +27,56 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 	if c.Reset() != 8000 || c.Load() != 0 {
 		t.Fatal("Reset misbehaved")
+	}
+}
+
+// TestCounterLatchesFirstError: error statuses still count, the first
+// error is retained across later successes, and Reset clears it.
+func TestCounterLatchesFirstError(t *testing.T) {
+	c := comp.NewCounter()
+	c.Signal(base.Status{})
+	if c.Err() != nil {
+		t.Fatalf("clean counter has Err %v", c.Err())
+	}
+	first := errors.New("first failure")
+	c.Signal(base.Status{Err: first})
+	c.Signal(base.Status{Err: errors.New("second failure")})
+	c.Signal(base.Status{})
+	if c.Load() != 4 {
+		t.Fatalf("count = %d, want 4", c.Load())
+	}
+	if !errors.Is(c.Err(), first) {
+		t.Fatalf("Err = %v, want the first failure", c.Err())
+	}
+	c.Reset()
+	if c.Err() != nil || c.Load() != 0 {
+		t.Fatal("Reset did not clear the latched error")
+	}
+}
+
+// TestSyncErr: Sync surfaces the first error among collected statuses.
+func TestSyncErr(t *testing.T) {
+	s := comp.NewSync(2)
+	boom := errors.New("boom")
+	s.Signal(base.Status{})
+	s.Signal(base.Status{Err: boom})
+	if !s.Test() {
+		t.Fatal("sync not ready")
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Fatalf("Err = %v, want boom", s.Err())
+	}
+}
+
+// TestQueueCarriesErr: error statuses flow through the completion queue
+// untouched.
+func TestQueueCarriesErr(t *testing.T) {
+	q := comp.NewQueue()
+	boom := errors.New("boom")
+	q.Signal(base.Status{Tag: 7, Err: boom})
+	st, ok := q.Pop()
+	if !ok || st.Tag != 7 || !errors.Is(st.Err, boom) {
+		t.Fatalf("Pop = %+v, %v", st, ok)
 	}
 }
 

@@ -34,6 +34,10 @@ type Graph struct {
 	// single-goroutine resources (packet workers, affinity handles) even
 	// while foreign progress threads signal completions.
 	deferOps bool
+	// err latches the first node failure. Once set, dependents of the
+	// failed node complete as aborted instead of firing, so Test still
+	// converges to true and Err reports the root cause.
+	err atomic.Pointer[error]
 }
 
 // NodeID names a node within its graph.
@@ -48,11 +52,23 @@ type graphNode struct {
 	initDeps int32
 	children []NodeID
 	done     atomic.Bool
+	// aborted is set by a failing (or aborted) parent before it performs
+	// the dependency decrement; whichever parent performs the FINAL
+	// decrement then observes it and completes the node as aborted
+	// instead of firing it.
+	aborted atomic.Bool
 }
 
 // Signal implements base.Comp for op nodes: the runtime signals the node
-// when its posted communication completes.
-func (n *graphNode) Signal(base.Status) { n.g.complete(n) }
+// when its posted communication completes. An error status fails the
+// node, which aborts its dependents instead of firing them.
+func (n *graphNode) Signal(st base.Status) {
+	if st.Err != nil {
+		n.g.fail(n, st.Err)
+		return
+	}
+	n.g.complete(n)
+}
 
 // NewGraph returns an empty completion graph.
 func NewGraph() *Graph {
@@ -179,6 +195,8 @@ func (g *Graph) post(n *graphNode) {
 	}
 	st := n.op(n)
 	switch {
+	case st.Err != nil && !st.IsRetry():
+		g.fail(n, st.Err)
 	case st.IsDone():
 		g.complete(n)
 	case st.IsRetry():
@@ -188,17 +206,58 @@ func (g *Graph) post(n *graphNode) {
 	}
 }
 
-func (g *Graph) complete(n *graphNode) {
+func (g *Graph) complete(n *graphNode) { g.finish(n, false) }
+
+// fail completes a node unsuccessfully: the first failure is latched on
+// the graph (Err) and the node's dependents are aborted rather than
+// fired, cascading down so Test converges instead of wedging.
+func (g *Graph) fail(n *graphNode, err error) {
+	g.err.CompareAndSwap(nil, &err)
+	g.finish(n, true)
+}
+
+// finish marks n complete and releases its children. When n failed or
+// was aborted, each child is flagged aborted BEFORE the dependency
+// decrement: the flag store and the decrement are both sequentially
+// consistent atomics, so whichever parent performs the final decrement —
+// even a successful one — observes the flag and aborts the child.
+func (g *Graph) finish(n *graphNode, abortChildren bool) {
 	if n.done.Swap(true) {
 		panic("comp: graph node completed twice")
 	}
 	g.pending.Add(-1)
 	for _, c := range n.children {
 		child := g.nodes[c]
+		if abortChildren {
+			child.aborted.Store(true)
+		}
 		if child.deps.Add(-1) == 0 {
-			g.fire(child)
+			if child.aborted.Load() {
+				g.finish(child, true) // never fires: fn/op do not run
+			} else {
+				g.fire(child)
+			}
 		}
 	}
+}
+
+// Err returns the first error recorded by a failed node, or nil. A graph
+// whose Test reports true with a non-nil Err completed by aborting the
+// failed node's dependents; their operations never ran.
+func (g *Graph) Err() error {
+	if p := g.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Aborted reports whether the node was aborted because an upstream
+// dependency failed.
+func (g *Graph) Aborted(id NodeID) bool {
+	g.buildMu.Lock()
+	n := g.nodes[id]
+	g.buildMu.Unlock()
+	return n.aborted.Load()
 }
 
 // Drain posts queued op nodes: operations that previously returned Retry

@@ -1,6 +1,7 @@
 package comp_test
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -82,6 +83,115 @@ func TestGraphConcurrentSignal(t *testing.T) {
 	wg.Wait()
 	if fired.Load() != ops {
 		t.Fatalf("fired %d children, want %d", fired.Load(), ops)
+	}
+}
+
+// TestGraphAbortCascade: a failed op node records the root cause on the
+// graph and aborts its transitive dependents — their fn/op never run —
+// while independent branches still execute. Test converges to true
+// instead of wedging.
+func TestGraphAbortCascade(t *testing.T) {
+	g := comp.NewGraph()
+	boom := errors.New("rendezvous timed out")
+	var failComp base.Comp
+	fail := g.AddOp(func(c base.Comp) base.Status {
+		failComp = c
+		return base.Status{State: base.Posted}
+	})
+	var childRan, grandRan, sideRan atomic.Bool
+	child := g.AddOp(func(c base.Comp) base.Status {
+		childRan.Store(true)
+		return base.Status{State: base.Done}
+	})
+	grand := g.AddFunc(func() { grandRan.Store(true) })
+	side := g.AddFunc(func() { sideRan.Store(true) })
+	g.AddEdge(fail, child)
+	g.AddEdge(child, grand)
+	g.Start()
+	failComp.Signal(base.Status{Err: boom})
+	if !g.Test() {
+		t.Fatal("failed graph never converged")
+	}
+	if !errors.Is(g.Err(), boom) {
+		t.Fatalf("Err = %v, want the root cause", g.Err())
+	}
+	if childRan.Load() || grandRan.Load() {
+		t.Fatal("aborted dependents still ran")
+	}
+	if !sideRan.Load() {
+		t.Fatal("independent branch did not run")
+	}
+	if !g.Aborted(child) || !g.Aborted(grand) {
+		t.Fatal("dependents not marked aborted")
+	}
+	if g.Aborted(fail) || g.Aborted(side) {
+		t.Fatal("non-dependents marked aborted")
+	}
+	_ = side
+}
+
+// TestGraphJoinAbortsOnAnyFailedParent: a join node with one failed and
+// one successful parent aborts, regardless of which parent performs the
+// final dependency decrement.
+func TestGraphJoinAbortsOnAnyFailedParent(t *testing.T) {
+	boom := errors.New("peer dead")
+	// Exercise both decrement orders: failure first, then success — and
+	// the reverse.
+	for _, failFirst := range []bool{true, false} {
+		g := comp.NewGraph()
+		var cFail, cOK base.Comp
+		pFail := g.AddOp(func(c base.Comp) base.Status {
+			cFail = c
+			return base.Status{State: base.Posted}
+		})
+		pOK := g.AddOp(func(c base.Comp) base.Status {
+			cOK = c
+			return base.Status{State: base.Posted}
+		})
+		var joinRan atomic.Bool
+		join := g.AddFunc(func() { joinRan.Store(true) })
+		g.AddEdge(pFail, join)
+		g.AddEdge(pOK, join)
+		g.Start()
+		if failFirst {
+			cFail.Signal(base.Status{Err: boom})
+			cOK.Signal(base.Status{})
+		} else {
+			cOK.Signal(base.Status{})
+			cFail.Signal(base.Status{Err: boom})
+		}
+		if !g.Test() {
+			t.Fatalf("failFirst=%v: graph never converged", failFirst)
+		}
+		if joinRan.Load() {
+			t.Fatalf("failFirst=%v: join ran despite a failed parent", failFirst)
+		}
+		if !errors.Is(g.Err(), boom) {
+			t.Fatalf("failFirst=%v: Err = %v", failFirst, g.Err())
+		}
+	}
+}
+
+// TestGraphOpFailsAtPostTime: an op returning a Done status with Err set
+// (e.g. PostSend to a dead peer) fails the node immediately.
+func TestGraphOpFailsAtPostTime(t *testing.T) {
+	g := comp.NewGraph()
+	boom := errors.New("peer dead")
+	n := g.AddOp(func(c base.Comp) base.Status {
+		return base.Status{State: base.Done, Err: boom}
+	})
+	var depRan atomic.Bool
+	dep := g.AddOp(func(c base.Comp) base.Status {
+		depRan.Store(true)
+		return base.Status{State: base.Done}
+	})
+	g.AddEdge(n, dep)
+	g.Start()
+	if !g.Test() {
+		t.Fatal("graph never converged")
+	}
+	if !errors.Is(g.Err(), boom) || depRan.Load() || !g.Aborted(dep) {
+		t.Fatalf("Err=%v depRan=%v aborted=%v", g.Err(), depRan.Load(), g.Aborted(dep))
 	}
 }
 

@@ -74,10 +74,27 @@ func TestTokenTable(t *testing.T) {
 	if tt.get(a) != nil {
 		t.Fatal("released token still resolves")
 	}
-	// Freed slots are reused.
+	// Freed slots are reused under a new generation: the slot index comes
+	// back, the old token stays stale forever.
 	c := tt.alloc("c")
-	if c != a {
-		t.Fatalf("freed token not reused: got %d want %d", c, a)
+	if c&tokenIndexMask != a&tokenIndexMask {
+		t.Fatalf("freed slot not reused: got index %d want %d", c&tokenIndexMask, a&tokenIndexMask)
+	}
+	if c == a {
+		t.Fatal("generation did not advance on release")
+	}
+	if tt.get(a) != nil || tt.release(a) != nil {
+		t.Fatal("stale-generation token resolved")
+	}
+	if tt.get(c) != "c" {
+		t.Fatal("reallocated token does not resolve")
+	}
+	// releaseIf refuses a mismatched value and honors a matched one.
+	if tt.releaseIf(c, "x") {
+		t.Fatal("releaseIf freed a mismatched value")
+	}
+	if !tt.releaseIf(c, "c") {
+		t.Fatal("releaseIf refused the matching value")
 	}
 }
 

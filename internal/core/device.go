@@ -2,15 +2,16 @@ package core
 
 import (
 	"errors"
-	"lci/internal/spin"
 	"sync/atomic"
 
 	"lci/internal/backlog"
 	"lci/internal/base"
+	"lci/internal/fault"
 	"lci/internal/matching"
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
+	"lci/internal/spin"
 	"lci/internal/telemetry"
 	"lci/internal/topo"
 )
@@ -48,6 +49,64 @@ type Device struct {
 	tel  *telemetry.Telemetry
 	tc   *telemetry.DeviceCounters
 	ring *telemetry.Ring
+
+	// Failure-domain machinery. hardened is a plain bool decided at
+	// device creation (an injector is installed on the fabric, or
+	// rendezvous timeouts are configured); when false, ProgressW skips
+	// the whole tick with a single untaken branch, keeping the fault
+	// hooks off the healthy hot path.
+	// inj caches the fabric's injector at device creation (same contract:
+	// install before NewRuntime), sparing the tick the fabric's atomic
+	// pointer load on every empty progress round.
+	inj *fault.Injector
+	// attention gates the hardened tick: it is raised by the injector's
+	// kill notification (Subscribe) and by rendezvous token allocation,
+	// and dropped by the tick itself once neither a death nor a live
+	// handshake needs it. The empty progress round of a hardened device
+	// therefore costs one device-local load instead of the full
+	// death-generation / live-token poll.
+	attention        atomic.Bool
+	hardened         bool
+	rdvTimeoutEpochs int
+	rdvMaxAttempts   int
+	rdvEpoch         atomic.Uint64 // progress epochs counted while rendezvous are live
+	deadGen          atomic.Uint64 // last injector death generation reacted to
+	rdvMu            spin.Lock     // admits one timeout scanner at a time
+	rdvScratch       []tokenRef
+
+	// seen deduplicates retransmitted RTS arrivals per (src, sender
+	// token): a parked duplicate is dropped, an already-invited one gets
+	// the identical RTR re-sent (idempotent — same receiver token, same
+	// rkey), and a completed one is absorbed by a tombstone retained in
+	// the bounded doneLog FIFO. Sender tokens carry a generation, so a
+	// key never legitimately recurs.
+	seenMu   spin.Mutex
+	seen     map[rdvSeenKey]*rdvSeenEntry
+	doneLog  []rdvSeenKey
+	doneHead int
+}
+
+// rdvSeenKey names one sender-side rendezvous attempt as the receiver
+// sees it.
+type rdvSeenKey struct {
+	src   int
+	token uint64
+}
+
+const (
+	seenParked  uint8 = iota + 1 // RTS parked in the matching engine, no RTR yet
+	seenInvited                  // RTR sent; duplicates re-send the stored header
+	seenDone                     // payload landed (or the rendezvous was failed)
+)
+
+// seenTombstones bounds the completed-entry FIFO absorbing late
+// duplicates.
+const seenTombstones = 1024
+
+type rdvSeenEntry struct {
+	state uint8
+	rdev  int
+	hdr   header
 }
 
 // NewDevice allocates a new device (alloc_device in the paper) and adds
@@ -72,16 +131,35 @@ func (rt *Runtime) NewDevice() (*Device, error) {
 		}
 		nd.BindDomain(dom)
 	}
+	// The hardened decision is taken once, here: installing an injector
+	// after runtimes exist does not retro-activate the failure machinery
+	// on their devices (fabric.SetInjector before NewRuntime is the
+	// documented order).
+	inj := rt.injector()
+	hard := rt.cfg.RendezvousTimeoutEpochs > 0 || inj != nil
 	d := &Device{
-		rt:        rt,
-		net:       nd,
-		domain:    dom,
-		worker:    rt.pool.RegisterWorkerIn(dom),
-		bq:        backlog.New(),
-		compBatch: make([]network.Completion, 32),
-		tel:       rt.tel,
-		tc:        &telemetry.DeviceCounters{},
-		ring:      rt.tel.Trace().NewRing(),
+		inj:              inj,
+		rt:               rt,
+		net:              nd,
+		domain:           dom,
+		worker:           rt.pool.RegisterWorkerIn(dom),
+		bq:               backlog.New(),
+		compBatch:        make([]network.Completion, 32),
+		tel:              rt.tel,
+		tc:               &telemetry.DeviceCounters{},
+		ring:             rt.tel.Trace().NewRing(),
+		hardened:         hard,
+		rdvTimeoutEpochs: rt.cfg.RendezvousTimeoutEpochs,
+		rdvMaxAttempts:   rt.cfg.RendezvousMaxAttempts,
+	}
+	if hard {
+		d.seen = make(map[rdvSeenKey]*rdvSeenEntry)
+		// Start raised: the first tick absorbs any deaths that predate the
+		// device, then settles the flag.
+		d.attention.Store(true)
+		if inj != nil {
+			inj.Subscribe(func() { d.attention.Store(true) })
+		}
 	}
 	rt.tel.RegisterDevice(nd.Index(), d.tc, func() telemetry.DeviceGauges {
 		ns := d.net.Stats()
@@ -199,6 +277,15 @@ func (d *Device) Progress() int {
 // atomic write, and no batch-buffer traffic. Everything else lives in the
 // slow path.
 func (d *Device) ProgressW(w *packet.Worker) int {
+	// The hardened tick runs BEFORE the empty check: a rank spinning on
+	// progress with nothing but a parked receive from a dead peer has an
+	// empty backlog, no deficit, and an empty CQ — only the tick can wake
+	// it (dead-rank sweep, rendezvous timeout scan). The attention flag
+	// keeps that wake-up path off the fault-free spin: it is raised by
+	// kill notifications and rendezvous allocation, not polled for.
+	if d.hardened && d.attention.Load() {
+		d.tick()
+	}
 	if d.bq.Empty() && d.recvDeficit.Load() <= 0 && d.net.CQEmpty() {
 		return 0
 	}
@@ -374,12 +461,18 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		}
 		w.Put(pkt)
 	case kRTS:
-		eng := d.rt.engineByID(h.engine)
-		key := matching.MakeKey(src, int(h.tag), h.policy)
-		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token, dev: d}
 		if d.tel.Counting() {
 			d.tc.RTSRecv.Add(1)
 		}
+		if d.hardened && !d.rdvAdmit(src, h.token) {
+			// Retransmitted RTS: already parked, invited (RTR re-sent by
+			// rdvAdmit), or complete. Never re-insert into the engine.
+			w.Put(pkt)
+			return
+		}
+		eng := d.rt.engineByID(h.engine)
+		key := matching.MakeKey(src, int(h.tag), h.policy)
+		arrival := &rtsArrival{src: src, tag: int(h.tag), size: int(h.size), token: h.token, dev: d}
 		if m, ok := eng.Insert(key, matching.Send, arrival); ok {
 			if d.tel.Counting() {
 				d.tc.MatchHits.Add(1)
@@ -400,8 +493,12 @@ func (d *Device) handleRxPacket(pkt *packet.Packet, src, length int, w *packet.W
 		if d.tel.Counting() {
 			d.tc.RTSRecv.Add(1)
 		}
+		if d.hardened && !d.rdvAdmit(src, h.token) {
+			w.Put(pkt)
+			return
+		}
 		buf, owner := d.rt.allocAM(int(h.size), h.rcomp)
-		d.respondRTR(src, h.token, buf, rdvState{
+		d.respondRTR(src, h.token, &rdvState{
 			isAM: true, rcomp: h.rcomp, buf: buf, alloc: owner, src: src, tag: int(h.tag),
 		})
 		w.Put(pkt)
@@ -441,7 +538,7 @@ func (d *Device) startRTR(rop *recvOp, rts *rtsArrival) {
 	if size > len(rop.buf) {
 		size = len(rop.buf) // truncated receive, like MPI_ERR_TRUNCATE avoided by convention
 	}
-	d.respondRTR(rts.src, rts.token, rop.buf[:size], rdvState{
+	d.respondRTR(rts.src, rts.token, &rdvState{
 		buf: rop.buf[:size], comp: rop.comp, ctx: rop.ctx, src: rts.src, tag: rts.tag,
 	})
 }
@@ -457,23 +554,37 @@ type rdvState struct {
 	rkey  uint64
 	src   int
 	tag   int
+
+	// Retransmit state (hardened mode only). The stored RTR header is
+	// re-sent verbatim on timeout — same receiver token, same rkey — so a
+	// duplicate RTR at the sender is suppressed by the token generation
+	// and a duplicate write by the receiver token generation; the
+	// handshake stays idempotent. lastEpoch is atomic because the timeout
+	// scanner reads it concurrently with the arming store; 0 = unarmed.
+	senderToken uint64
+	hdr         header
+	tok         uint32
+	rdev        int
+	attempts    int32
+	lastEpoch   atomic.Uint64
 }
 
-// respondRTR registers buf, stores the rendezvous state and sends the RTR
-// control message — addressed to the device the RTS was posted from (its
-// index rides in the sender token's upper half), which is the only device
-// whose token table knows the send. Failures are parked on the backlog
-// queue — this path runs inside the progress engine or a posting call that
-// already matched, so it cannot bounce a retry to the user (§5.1.5).
-func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState) {
-	rkey, err := d.net.RegisterMem(buf)
+// respondRTR registers st.buf, stores the rendezvous state and sends the
+// RTR control message — addressed to the device the RTS was posted from
+// (its index rides in the sender token's upper half), which is the only
+// device whose token table knows the send. Transient failures are parked
+// on the backlog queue — this path runs inside the progress engine or a
+// posting call that already matched, so it cannot bounce a retry to the
+// user (§5.1.5); fatal failures error-complete the receive.
+func (d *Device) respondRTR(src int, senderToken uint64, st *rdvState) {
+	rkey, err := d.net.RegisterMem(st.buf)
 	if err != nil {
 		// Registration try-locks never fail in the simulated providers;
 		// treat failure as fatal programming error.
 		panic("lci: RegisterMem failed: " + err.Error())
 	}
 	st.rkey = rkey
-	rtoken := d.tokens.alloc(&st)
+	rtoken := d.tokens.alloc(st)
 	hdr := header{
 		kind:  kRTR,
 		rcomp: base.RComp(rtoken),
@@ -481,18 +592,37 @@ func (d *Device) respondRTR(src int, senderToken uint64, buf []byte, st rdvState
 		token: senderToken,
 		rkey:  rkey,
 	}
+	if d.hardened {
+		st.senderToken = senderToken
+		st.hdr = hdr
+		st.tok = rtoken
+		st.rdev = int(senderToken >> 32)
+		d.rdvInvited(src, senderToken, hdr)
+		if d.rdvTimeoutEpochs > 0 {
+			st.lastEpoch.Store(d.epochNow())
+		}
+		// The receiver token is live (alloc above): raise attention so
+		// the timeout clock ticks for it.
+		d.attention.Store(true)
+	}
 	if d.tel.Counting() {
 		d.tc.RTRSent.Add(1)
 	}
 	if d.tel.Tracing() {
 		d.ring.Add(telemetry.EvRTR, d.Index(), src, senderToken)
 	}
-	d.sendControl(src, int(senderToken>>32), hdr)
+	d.sendControl(src, int(senderToken>>32), hdr, func(err error) {
+		if d.tokens.releaseIf(rtoken, st) {
+			d.failRecv(st, err)
+		}
+	})
 }
 
 // sendControl emits a header-only control message to the peer's device
-// remoteDev, diverting to the backlog on transient failure.
-func (d *Device) sendControl(dst, remoteDev int, hdr header) {
+// remoteDev, diverting to the backlog on transient failure. A fatal
+// failure — now or on a later backlog drain — is reported through onFail
+// exactly once; a nil onFail treats fatal failure as a programming error.
+func (d *Device) sendControl(dst, remoteDev int, hdr header, onFail func(error)) {
 	try := func() error {
 		pkt := d.worker.Get()
 		if pkt == nil {
@@ -501,12 +631,16 @@ func (d *Device) sendControl(dst, remoteDev int, hdr header) {
 		hdr.encode(pkt.Data)
 		err := d.net.PostSend(dst, remoteDev, uint32(hdr.kind), pkt.Data[:headerSize], nil)
 		d.worker.Put(pkt) // the fabric copied the bytes (or it failed); recycle either way
+		if err != nil && !retryable(err) {
+			if onFail == nil {
+				panic("lci: control message failed: " + err.Error())
+			}
+			onFail(err)
+			return nil // reported here; the backlog must never see a fatal error
+		}
 		return err
 	}
 	if err := try(); err != nil {
-		if !retryable(err) {
-			panic("lci: control message failed: " + err.Error())
-		}
 		if d.tel.Counting() {
 			d.tc.BacklogParks.Add(1)
 		}
@@ -519,7 +653,13 @@ func (d *Device) sendControl(dst, remoteDev int, hdr header) {
 func (d *Device) continueRendezvous(src int, h header) {
 	v := d.tokens.release(uint32(h.token))
 	if v == nil {
-		panic("lci: RTR for unknown send token")
+		// Duplicate RTR: the send token's generation bumped when the first
+		// RTR released it (or the send already timed out). Suppress — the
+		// write for the live generation is (or was) in flight.
+		if d.tel.Counting() {
+			d.tc.DupSuppressed.Add(1)
+		}
+		return
 	}
 	ss := v.(*sendState)
 	rtoken := uint32(h.rcomp)
@@ -535,13 +675,18 @@ func (d *Device) continueRendezvous(src int, h header) {
 		ctx = &sendOp{comp: ss.comp, st: ss.st, t0: ss.t0, rdvAM: ss.isAM}
 	}
 	try := func() error {
-		return d.net.PostWrite(src, notifyDev, h.rkey, 0, ss.buf,
+		err := d.net.PostWrite(src, notifyDev, h.rkey, 0, ss.buf,
 			encodeRdvImm(rtoken), true, ctx)
+		if err != nil && !retryable(err) {
+			// Fatal (peer died between RTR and write): the send token is
+			// already released, so the timeout scanner cannot report this —
+			// error-complete here, whether on the first try or a drain.
+			d.failSend(ss, err)
+			return nil
+		}
+		return err
 	}
 	if err := try(); err != nil {
-		if !retryable(err) {
-			panic("lci: rendezvous write failed: " + err.Error())
-		}
 		if d.tel.Counting() {
 			d.tc.BacklogParks.Add(1)
 		}
@@ -557,9 +702,18 @@ func (d *Device) handleWriteImm(src int, imm uint64, length int) {
 		rtoken := uint32(imm)
 		v := d.tokens.release(rtoken)
 		if v == nil {
-			panic("lci: write-imm for unknown recv token")
+			// Duplicate write (a retransmitted RTR can double the payload
+			// write) or a receive that already timed out: the receiver
+			// token's generation bumped on the first release. Suppress.
+			if d.tel.Counting() {
+				d.tc.DupSuppressed.Add(1)
+			}
+			return
 		}
 		st := v.(*rdvState)
+		if d.hardened {
+			d.noteSeenDone(st.src, st.senderToken)
+		}
 		if err := d.net.DeregisterMem(st.rkey); err != nil {
 			panic("lci: DeregisterMem failed: " + err.Error())
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lci/internal/base"
 	"lci/internal/matching"
@@ -123,6 +124,18 @@ type sendState struct {
 	st   base.Status
 	t0   int64
 	isAM bool
+
+	// Retransmit state (hardened mode only): the RTS header is stored so
+	// the timeout scanner can re-send it verbatim — duplicates at the
+	// receiver dedup on (src, token). lastEpoch is atomic because the
+	// scanner reads it concurrently with the arming store (the store also
+	// publishes dst/rdev/hdr to the scanner); 0 = unarmed.
+	dst       int
+	rdev      int
+	hdr       header
+	tok       uint32
+	attempts  int32
+	lastEpoch atomic.Uint64
 }
 
 func (o *Options) device(rt *Runtime) *Device {
@@ -354,6 +367,14 @@ func (rt *Runtime) postEager(rank int, buf []byte, hdr header, comp base.Comp, o
 			d.crossDelay(w)
 			e := d.net.PostSend(rank, opts.remoteDev(d), uint32(inner.kind), pkt.Data[:headerSize+n], ctx)
 			w.Put(pkt)
+			if e != nil && !retryable(e) {
+				// Fatal on a backlog drain (peer died while parked): the
+				// queue drops non-retryable errors, so report here.
+				d.failSend(&sendState{comp: innerComp, st: base.Status{
+					State: base.Done, Rank: rank, Tag: int(inner.tag), Ctx: opts.Ctx,
+				}}, e)
+				return nil
+			}
 			return e
 		})
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
@@ -379,6 +400,18 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 	token := d.tokens.alloc(ss)
 	hdr.token = uint64(d.Index())<<32 | uint64(token)
 	hdr.size = uint32(len(buf))
+	if d.hardened {
+		ss.dst = rank
+		ss.rdev = opts.remoteDev(d)
+		ss.tok = token
+		ss.hdr = hdr
+		if d.rdvTimeoutEpochs > 0 {
+			ss.lastEpoch.Store(d.epochNow())
+		}
+		// The token is live (alloc above): raise attention so the timeout
+		// clock ticks for it.
+		d.attention.Store(true)
+	}
 
 	w := opts.worker(d)
 	attempt := func() error {
@@ -403,17 +436,35 @@ func (rt *Runtime) postRendezvous(rank int, buf []byte, hdr header, comp base.Co
 		return base.Status{State: base.Posted}, nil
 	}
 	if !retryable(err) {
-		d.tokens.release(token)
-		return base.Status{}, err
+		// releaseIf: the timeout scanner may already own the failure fire;
+		// if it does, the op was posted as far as the caller is concerned
+		// and the error arrives through the completion object.
+		if d.tokens.releaseIf(token, ss) {
+			return base.Status{}, err
+		}
+		return base.Status{State: base.Posted}, nil
 	}
 	if opts.DisallowRetry {
 		if d.tel.Counting() {
 			d.tc.BacklogParks.Add(1)
 		}
-		d.bq.Push(attempt)
+		d.bq.Push(func() error {
+			e := attempt()
+			if e != nil && !retryable(e) {
+				// Fatal on a backlog drain (the queue drops non-retryable
+				// errors): report through the completion object here.
+				if d.tokens.releaseIf(token, ss) {
+					d.failSend(ss, e)
+				}
+				return nil
+			}
+			return e
+		})
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
-	d.tokens.release(token)
+	if !d.tokens.releaseIf(token, ss) {
+		return base.Status{State: base.Posted}, nil
+	}
 	d.noteRetry(err)
 	return classifyRetry(err), nil
 }
@@ -453,6 +504,14 @@ func (rt *Runtime) postRecv(rank int, buf []byte, tag int, comp base.Comp, opts 
 	}
 	if comp == nil {
 		return base.Status{}, fmt.Errorf("%w: receive requires a completion object", ErrInvalidArgument)
+	}
+	// A receive naming a concrete source rank can only ever match that
+	// rank: refuse it outright when the rank is dead, instead of parking
+	// it until the next death sweep. Wildcard-rank receives stay postable.
+	if opts.Policy == base.MatchRankTag || opts.Policy == base.MatchRankOnly {
+		if inj := rt.injector(); inj != nil && inj.Dead(rank) {
+			return base.Status{}, network.ErrPeerDead
+		}
 	}
 	d := opts.device(rt)
 	eng, _ := opts.engine(rt)
@@ -534,7 +593,16 @@ func (rt *Runtime) postPut(rank int, buf []byte, tag int, comp base.Comp, opts O
 		if d.tel.Counting() {
 			d.tc.BacklogParks.Add(1)
 		}
-		d.bq.Push(attempt)
+		d.bq.Push(func() error {
+			e := attempt()
+			if e != nil && !retryable(e) {
+				d.failSend(&sendState{comp: comp, st: base.Status{
+					State: base.Done, Rank: rank, Tag: tag, Ctx: opts.Ctx,
+				}}, e)
+				return nil
+			}
+			return e
+		})
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
 	d.noteRetry(err)
@@ -582,7 +650,16 @@ func (rt *Runtime) postGet(rank int, buf []byte, comp base.Comp, opts Options) (
 		if d.tel.Counting() {
 			d.tc.BacklogParks.Add(1)
 		}
-		d.bq.Push(attempt)
+		d.bq.Push(func() error {
+			e := attempt()
+			if e != nil && !retryable(e) {
+				d.failSend(&sendState{comp: comp, st: base.Status{
+					State: base.Done, Rank: rank, Ctx: opts.Ctx,
+				}}, e)
+				return nil
+			}
+			return e
+		})
 		return base.Status{State: base.Posted, Reason: base.RetryBacklog}, nil
 	}
 	d.noteRetry(err)

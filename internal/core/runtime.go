@@ -7,6 +7,7 @@ import (
 
 	"lci/internal/base"
 	"lci/internal/comp"
+	"lci/internal/fault"
 	"lci/internal/matching"
 	"lci/internal/mpmc"
 	"lci/internal/netsim/fabric"
@@ -23,6 +24,14 @@ var (
 	ErrInvalidArgument = errors.New("lci: invalid argument")
 	ErrTooLarge        = errors.New("lci: message exceeds the maximum size")
 	ErrClosed          = errors.New("lci: runtime is closed")
+	// ErrTimeout reports a rendezvous handshake that exhausted its
+	// retransmit budget (Config.RendezvousTimeoutEpochs /
+	// RendezvousMaxAttempts). It is delivered through the operation's
+	// completion object, not returned from the post.
+	ErrTimeout = errors.New("lci: rendezvous timed out")
+	// ErrPeerDead re-exports the network-layer verdict for operations
+	// naming a failed rank, so core callers need one import.
+	ErrPeerDead = network.ErrPeerDead
 )
 
 // Config configures a runtime. The zero value of every field selects the
@@ -71,6 +80,17 @@ type Config struct {
 	// zero value is the default: per-layer counters and latency
 	// histograms on, lifecycle trace off (telemetry.Config).
 	Telemetry telemetry.Config
+	// RendezvousTimeoutEpochs arms the rendezvous handshake timeout: an
+	// RTS (sender) or RTR (receiver) outstanding for this many
+	// progress-engine epochs is retransmitted, up to
+	// RendezvousMaxAttempts, after which the operation error-completes
+	// with ErrTimeout. 0 (the default) disables timeouts entirely — a
+	// legitimately late PostRecv may park an RTS arbitrarily long, so
+	// only fault-tolerant workloads (and the chaos gates) opt in.
+	RendezvousTimeoutEpochs int
+	// RendezvousMaxAttempts caps handshake retransmissions per operation
+	// (default 8 when timeouts are enabled).
+	RendezvousMaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Placement == nil {
 		c.Placement = LocalPlacement{}
+	}
+	if c.RendezvousTimeoutEpochs > 0 && c.RendezvousMaxAttempts <= 0 {
+		c.RendezvousMaxAttempts = 8
 	}
 	if c.PacketSize < headerSize+c.InjectSize {
 		panic("core: PacketSize must be at least headerSize+InjectSize")
@@ -127,6 +150,10 @@ type Runtime struct {
 	rank    int
 	nranks  int
 	closed  bool
+	// fab is the simulated fabric the runtime's devices ride on; the
+	// failure-domain machinery reads its installed fault injector (peer
+	// liveness, death generation) through it.
+	fab *fabric.Fabric
 	// tel is the runtime's observability root (internal/telemetry): the
 	// per-device counter blocks, latency histograms, and trace rings all
 	// register here, and Snapshot reads every layer through it.
@@ -158,6 +185,7 @@ func NewRuntime(backend network.Backend, fab *fabric.Fabric, rank int, cfg Confi
 	rt := &Runtime{
 		cfg:      cfg,
 		netctx:   netctx,
+		fab:      fab,
 		pool:     packet.NewPool(cfg.PacketSize, cfg.PacketsPerWorker),
 		defME:    matching.New(cfg.MatchBuckets),
 		engines:  mpmc.NewArray[*matching.Engine](4),
@@ -347,6 +375,28 @@ func (rt *Runtime) deviceDomains() []int {
 	return doms
 }
 
+// injector resolves the fabric's installed fault injector (nil on a
+// healthy fabric). One atomic pointer load; safe from any thread.
+func (rt *Runtime) injector() *fault.Injector {
+	if rt.fab == nil {
+		return nil
+	}
+	return rt.fab.Injector()
+}
+
+// allEngines snapshots every matching engine the runtime owns — the
+// default plus user-allocated ones — for the peer-death sweep. Control
+// path only (it allocates).
+func (rt *Runtime) allEngines() []*matching.Engine {
+	n := rt.engines.Len()
+	out := make([]*matching.Engine, 0, n+1)
+	out = append(out, rt.defME)
+	for i := 0; i < n; i++ {
+		out = append(out, rt.engines.Get(i))
+	}
+	return out
+}
+
 // DefaultMatchingEngine returns the runtime's default matching engine.
 func (rt *Runtime) DefaultMatchingEngine() *matching.Engine { return rt.defME }
 
@@ -428,13 +478,29 @@ func (rt *Runtime) NewCQ() *comp.Queue { return comp.NewQueue() }
 // NewFixedCQ allocates a bounded fetch-and-add-array completion queue.
 func (rt *Runtime) NewFixedCQ(capacity int) *comp.Queue { return comp.NewFixedQueue(capacity) }
 
-// Close shuts the runtime down. Outstanding communications are abandoned.
+// closeDrainRounds bounds the progress rounds Close spends letting
+// in-flight completions land before aborting what remains.
+const closeDrainRounds = 64
+
+// Close shuts the runtime down. It first drains: a bounded number of
+// progress rounds lets completions already in the fabric land. Whatever
+// is still in flight afterwards is error-completed with ErrClosed — every
+// completion object is signaled exactly once, never leaked — and only
+// then are the devices torn down.
 func (rt *Runtime) Close() error {
 	if rt.closed {
 		return nil
 	}
+	for i := 0; i < closeDrainRounds; i++ {
+		if rt.ProgressAll() == 0 {
+			break
+		}
+	}
 	rt.closed = true
 	var firstErr error
+	for i, n := 0, rt.devs.Len(); i < n; i++ {
+		rt.devs.Get(i).abortInFlight()
+	}
 	for i, n := 0, rt.devs.Len(); i < n; i++ {
 		if err := rt.devs.Get(i).Close(); err != nil && firstErr == nil {
 			firstErr = err

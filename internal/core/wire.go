@@ -23,6 +23,19 @@ const (
 	kRTR                        // rendezvous ready-to-receive (reply)
 )
 
+// Exported wire-kind values for fault-injection schedules: the providers
+// pass the wire kind as the fabric send's meta, so a fault.Rule built
+// with fault.KindBit over these values targets exactly one protocol
+// message type (e.g. drop only RTS/RTR handshakes, which the timeout
+// layer can recover, and never eager payloads, which it cannot).
+const (
+	KindEager   = uint32(kEager)
+	KindEagerAM = uint32(kEagerAM)
+	KindRTS     = uint32(kRTS)
+	KindRTSAM   = uint32(kRTSAM)
+	KindRTR     = uint32(kRTR)
+)
+
 func (k msgKind) String() string {
 	switch k {
 	case kEager:

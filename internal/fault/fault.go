@@ -1,0 +1,394 @@
+// Package fault is the deterministic, seed-driven fault-injection layer
+// for the simulated fabric. An Injector installed on a fabric
+// (fabric.SetInjector) is consulted on every header send and RMA leg and
+// can drop, delay, or duplicate messages per (src, dst) pair, fire
+// one-shot scripted events ("drop the Nth RTS", "kill rank r at its k-th
+// op", "down device d of rank r"), and maintain the dead-rank set the
+// rest of the stack surfaces as ErrPeerDead.
+//
+// Every probabilistic decision is a pure function of (seed, src, dst,
+// per-pair op ordinal), so a run is exactly reproducible from its printed
+// seed: same seed, same traffic order per pair, same faults. The chaos
+// soak prints the seed on every run for that reason.
+//
+// Dependency rule: this package sits below the fabric and imports only
+// the standard library, so netsim/fabric (and through it both provider
+// sims) can hold an Injector without cycles. Delays are returned as
+// nanosecond budgets for the fabric to charge with spin.Delay; the
+// injector itself never burns CPU.
+//
+// Concurrency: rules and events are configured before traffic starts
+// (SetRule/AddEvent are not safe against concurrent OnSend); KillRank,
+// DownDevice, and every read path are safe at any time.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPeerDead reports an operation addressed to (or issued by) a rank in
+// the injector's dead set. The network layer re-exports it; it is NOT a
+// retryable error — the peer is gone, not busy.
+var ErrPeerDead = errors.New("fault: peer is dead")
+
+// Rule is a per-(src, dst) probabilistic fault schedule. Probabilities
+// are evaluated independently per message from the deterministic hash
+// stream; a message can be both delayed and duplicated. KindMask
+// restricts the rule to a set of wire kinds (bit 1<<kind; see KindBit);
+// zero means every kind.
+type Rule struct {
+	DropP    float64 // probability a matching header send is dropped
+	DupP     float64 // probability a matching header send is delivered twice
+	DelayP   float64 // probability a matching op is delayed
+	DelayNs  int     // delay budget charged when DelayP fires
+	KindMask uint32  // restrict to wire kinds; 0 = all
+}
+
+func (r Rule) active() bool {
+	return r.DropP > 0 || r.DupP > 0 || (r.DelayP > 0 && r.DelayNs > 0)
+}
+
+// KindBit returns the KindMask bit for a wire kind value.
+func KindBit(kind uint32) uint32 { return 1 << kind }
+
+// Action is the injector's verdict on one operation. The zero value is
+// "deliver normally".
+type Action struct {
+	PeerDead  bool // refuse with ErrPeerDead (src or dst is dead)
+	Drop      bool // accept locally, never deliver
+	Duplicate bool // deliver twice
+	DelayNs   int  // charge this much modeled delay before delivering
+}
+
+// EventAction selects what a scripted event does when it fires.
+type EventAction uint8
+
+const (
+	// ActDrop drops the matching operation.
+	ActDrop EventAction = iota + 1
+	// ActKillRank adds Event.Rank to the dead set.
+	ActKillRank
+	// ActDownDevice downs device (Event.Rank, Event.Dev): every send
+	// targeting it is dropped from then on.
+	ActDownDevice
+)
+
+// Event is a one-shot scripted fault: it fires on the N-th operation
+// matching (Src, Dst, Kind) and then never again. Src/Dst -1 and Kind 0
+// are wildcards; N <= 1 means the first match.
+type Event struct {
+	Src, Dst int         // match: source/destination rank, -1 = any
+	Kind     uint32      // match: wire kind, 0 = any
+	N        int         // fire on the Nth match (1-based)
+	Action   EventAction // what to do
+	Rank     int         // ActKillRank / ActDownDevice: the target rank
+	Dev      int         // ActDownDevice: the target device index
+}
+
+type eventState struct {
+	Event
+	count atomic.Uint64
+	fired atomic.Bool
+}
+
+func (e *eventState) matches(src, dst int, kind uint32) bool {
+	return (e.Src < 0 || e.Src == src) &&
+		(e.Dst < 0 || e.Dst == dst) &&
+		(e.Kind == 0 || e.Kind == kind)
+}
+
+// pairState is one (src, dst) pair's slice of injector state: the op
+// ordinal feeding the hash stream and the pair's rule, if any.
+type pairState struct {
+	count atomic.Uint64
+	rule  atomic.Pointer[Rule]
+}
+
+// Counters is the injector's cumulative fault tally.
+type Counters struct {
+	Drops    int64 `json:"drops"`     // header sends dropped (rules + events + downed devices)
+	Dups     int64 `json:"dups"`      // header sends duplicated
+	Delays   int64 `json:"delays"`    // ops delayed
+	PeerDead int64 `json:"peer_dead"` // ops refused against a dead rank
+}
+
+// Injector is a deterministic fault source for one fabric. Construct
+// with New, configure rules/events, install with fabric.SetInjector.
+type Injector struct {
+	seed  uint64
+	n     int
+	pairs []pairState
+	evs   []*eventState
+
+	dead    []atomic.Bool
+	deadGen atomic.Uint64
+
+	// subs are the kill-notification callbacks (Subscribe). Progress
+	// engines register one so a death raises their attention flag
+	// directly instead of being discovered by polling DeadGen on every
+	// spin round. Kills are rare; a mutex around the slice is fine.
+	subsMu sync.Mutex
+	subs   []func()
+
+	// armed is set once any rule, event, or downed device exists. While
+	// clear, OnSend/OnRMA reduce to the dead-set check: no pair-ordinal
+	// RMW (a contended cacheline when many threads share one pair), no
+	// rule load, no event scan. This keeps the standing cost of merely
+	// installing an injector — hardening armed, no faults scheduled —
+	// near zero on the fault-free path. The pair ordinals only feed the
+	// hash stream that rules consume, and configuration happens before
+	// traffic, so skipping them while unarmed does not perturb
+	// reproducibility.
+	armed atomic.Bool
+
+	// downDevs is a bitset over rank*maxDevs+dev, sized lazily on first
+	// DownDevice; checked only when hasDown is set.
+	hasDown  atomic.Bool
+	downDevs []atomic.Uint64
+
+	drops    atomic.Int64
+	dups     atomic.Int64
+	delays   atomic.Int64
+	peerDead atomic.Int64
+}
+
+// maxDevs bounds the device index the down-device bitset can name.
+const maxDevs = 64
+
+// New builds an injector for an n-rank fabric, deterministic from seed.
+func New(seed uint64, n int) *Injector {
+	return &Injector{
+		seed:     seed,
+		n:        n,
+		pairs:    make([]pairState, n*n),
+		dead:     make([]atomic.Bool, n),
+		downDevs: make([]atomic.Uint64, (n*maxDevs+63)/64),
+	}
+}
+
+// Seed returns the seed the injector was built with (print it: a chaos
+// run is reproducible from it).
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// NumRanks returns the rank count the injector was sized for.
+func (inj *Injector) NumRanks() int { return inj.n }
+
+// SetRule installs a probabilistic rule for (src, dst); -1 wildcards
+// expand over all ranks. Configure before traffic starts.
+func (inj *Injector) SetRule(src, dst int, r Rule) {
+	if !r.active() {
+		return
+	}
+	rp := &r
+	for s := 0; s < inj.n; s++ {
+		if src >= 0 && s != src {
+			continue
+		}
+		for d := 0; d < inj.n; d++ {
+			if dst >= 0 && d != dst {
+				continue
+			}
+			inj.pairs[s*inj.n+d].rule.Store(rp)
+		}
+	}
+	inj.armed.Store(true)
+}
+
+// AddEvent appends a scripted one-shot event. Configure before traffic
+// starts.
+func (inj *Injector) AddEvent(e Event) {
+	if e.N < 1 {
+		e.N = 1
+	}
+	inj.evs = append(inj.evs, &eventState{Event: e})
+	inj.armed.Store(true)
+}
+
+// KillRank adds r to the dead set (safe at any time). Subsequent ops to
+// or from r are refused with PeerDead; DeadGen advances so pollers can
+// notice cheaply.
+func (inj *Injector) KillRank(r int) {
+	if r < 0 || r >= inj.n || inj.dead[r].Swap(true) {
+		return
+	}
+	inj.deadGen.Add(1)
+	inj.subsMu.Lock()
+	subs := inj.subs
+	inj.subsMu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+}
+
+// Subscribe registers f to run after every rank death (once per distinct
+// kill, after the dead set and DeadGen update). f must be cheap and
+// non-blocking — it may run inside an OnSend that fired an ActKillRank
+// event. Safe against concurrent KillRank.
+func (inj *Injector) Subscribe(f func()) {
+	inj.subsMu.Lock()
+	inj.subs = append(inj.subs, f)
+	inj.subsMu.Unlock()
+}
+
+// Dead reports whether rank r is in the dead set.
+func (inj *Injector) Dead(r int) bool {
+	return r >= 0 && r < inj.n && inj.dead[r].Load()
+}
+
+// DeadGen is a generation counter that advances on every KillRank;
+// progress engines compare it against a cached value to notice deaths
+// with one atomic load.
+func (inj *Injector) DeadGen() uint64 { return inj.deadGen.Load() }
+
+// DeadRanks returns the current dead set.
+func (inj *Injector) DeadRanks() []int {
+	var out []int
+	for r := range inj.dead {
+		if inj.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DownDevice downs device dev of rank r: every send targeting it drops.
+func (inj *Injector) DownDevice(r, dev int) {
+	if r < 0 || r >= inj.n || dev < 0 || dev >= maxDevs {
+		return
+	}
+	i := r*maxDevs + dev
+	inj.downDevs[i/64].Or(1 << (i % 64))
+	inj.hasDown.Store(true)
+	inj.armed.Store(true)
+}
+
+// DeviceDown reports whether device dev of rank r is downed.
+func (inj *Injector) DeviceDown(r, dev int) bool {
+	if !inj.hasDown.Load() || r < 0 || r >= inj.n || dev < 0 || dev >= maxDevs {
+		return false
+	}
+	i := r*maxDevs + dev
+	return inj.downDevs[i/64].Load()&(1<<(i%64)) != 0
+}
+
+// splitmix64 is the hash kernel behind every probabilistic decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// OnSend is the fabric's header-send hook: it advances the (src, dst) op
+// ordinal, evaluates scripted events and the pair rule, and returns the
+// verdict. dstDev names the destination device for down-device checks.
+func (inj *Injector) OnSend(src, dst, dstDev int, kind uint32) Action {
+	if inj.Dead(dst) || inj.Dead(src) {
+		inj.peerDead.Add(1)
+		return Action{PeerDead: true}
+	}
+	if !inj.armed.Load() {
+		return Action{}
+	}
+	ps := &inj.pairs[src*inj.n+dst]
+	k := ps.count.Add(1)
+
+	var act Action
+	if inj.DeviceDown(dst, dstDev) {
+		act.Drop = true
+	}
+	for _, ev := range inj.evs {
+		if ev.fired.Load() || !ev.matches(src, dst, kind) {
+			continue
+		}
+		if int(ev.count.Add(1)) != ev.N || ev.fired.Swap(true) {
+			continue
+		}
+		switch ev.Action {
+		case ActDrop:
+			act.Drop = true
+		case ActKillRank:
+			inj.KillRank(ev.Rank)
+		case ActDownDevice:
+			inj.DownDevice(ev.Rank, ev.Dev)
+		}
+	}
+	if r := ps.rule.Load(); r != nil && (r.KindMask == 0 || r.KindMask&KindBit(kind) != 0) {
+		h := splitmix64(inj.seed ^ uint64(src)<<40 ^ uint64(dst)<<20 ^ k)
+		if r.DropP > 0 && unit(h) < r.DropP {
+			act.Drop = true
+		}
+		h = splitmix64(h)
+		if r.DupP > 0 && unit(h) < r.DupP {
+			act.Duplicate = true
+		}
+		h = splitmix64(h)
+		if r.DelayP > 0 && r.DelayNs > 0 && unit(h) < r.DelayP {
+			act.DelayNs = r.DelayNs
+		}
+	}
+	if act.Drop {
+		act.Duplicate = false
+		inj.drops.Add(1)
+	} else if act.Duplicate {
+		inj.dups.Add(1)
+	}
+	if act.DelayNs > 0 {
+		inj.delays.Add(1)
+	}
+	return act
+}
+
+// OnRMA is the fabric's RDMA write/read hook. RMA legs are never dropped
+// or duplicated (a lost zero-copy write is unrecoverable below the
+// timeout layer, and the handshake above guarantees at-most-once); the
+// injector only refuses dead peers and charges delays.
+func (inj *Injector) OnRMA(src, dst int) Action {
+	if inj.Dead(dst) || inj.Dead(src) {
+		inj.peerDead.Add(1)
+		return Action{PeerDead: true}
+	}
+	if !inj.armed.Load() {
+		return Action{}
+	}
+	ps := &inj.pairs[src*inj.n+dst]
+	k := ps.count.Add(1)
+	var act Action
+	if r := ps.rule.Load(); r != nil && r.DelayP > 0 && r.DelayNs > 0 {
+		h := splitmix64(splitmix64(splitmix64(inj.seed ^ uint64(src)<<40 ^ uint64(dst)<<20 ^ k)))
+		if unit(h) < r.DelayP {
+			act.DelayNs = r.DelayNs
+			inj.delays.Add(1)
+		}
+	}
+	return act
+}
+
+// Snapshot returns the cumulative fault tally.
+func (inj *Injector) Snapshot() Counters {
+	return Counters{
+		Drops:    inj.drops.Load(),
+		Dups:     inj.dups.Load(),
+		Delays:   inj.delays.Load(),
+		PeerDead: inj.peerDead.Load(),
+	}
+}
+
+// String renders the injector state for chaos-run logs.
+func (inj *Injector) String() string {
+	c := inj.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault: seed=%d drops=%d dups=%d delays=%d peer-dead=%d",
+		inj.seed, c.Drops, c.Dups, c.Delays, c.PeerDead)
+	if dead := inj.DeadRanks(); len(dead) > 0 {
+		fmt.Fprintf(&b, " dead=%v", dead)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestDeterminism: identical seeds and per-pair traffic order produce
+// identical verdicts — the reproducibility contract behind the printed
+// chaos seed.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []Action {
+		inj := New(seed, 4)
+		inj.SetRule(-1, -1, Rule{DropP: 0.2, DupP: 0.1, DelayP: 0.3, DelayNs: 100})
+		var out []Action
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.OnSend(i%4, (i+1)%4, 0, 1))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("200 verdicts identical across different seeds — hash ignores the seed")
+	}
+}
+
+// TestRuleRates: over many trials the realized drop rate tracks the
+// configured probability.
+func TestRuleRates(t *testing.T) {
+	inj := New(7, 2)
+	inj.SetRule(0, 1, Rule{DropP: 0.25})
+	const trials = 20000
+	drops := 0
+	for i := 0; i < trials; i++ {
+		if inj.OnSend(0, 1, 0, 1).Drop {
+			drops++
+		}
+	}
+	got := float64(drops) / trials
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("drop rate %.3f far from configured 0.25", got)
+	}
+	if c := inj.Snapshot(); c.Drops != int64(drops) {
+		t.Fatalf("counter %d != realized drops %d", c.Drops, drops)
+	}
+	// The untouched reverse direction never faults.
+	for i := 0; i < 1000; i++ {
+		if a := inj.OnSend(1, 0, 0, 1); a.Drop || a.Duplicate || a.DelayNs != 0 {
+			t.Fatal("rule leaked onto an unconfigured pair")
+		}
+	}
+}
+
+// TestKindMask: a mask restricted to one wire kind leaves other kinds
+// untouched.
+func TestKindMask(t *testing.T) {
+	const kindRTS = 3
+	inj := New(9, 2)
+	inj.SetRule(0, 1, Rule{DropP: 1.0, KindMask: KindBit(kindRTS)})
+	if !inj.OnSend(0, 1, 0, kindRTS).Drop {
+		t.Fatal("masked kind did not drop at p=1")
+	}
+	if inj.OnSend(0, 1, 0, 1).Drop {
+		t.Fatal("unmasked kind dropped")
+	}
+}
+
+// TestScriptedEvents: drop-the-Nth fires exactly once on the Nth match;
+// kill-at-op moves the rank into the dead set and flips the generation.
+func TestScriptedEvents(t *testing.T) {
+	inj := New(1, 3)
+	inj.AddEvent(Event{Src: -1, Dst: -1, Kind: 3, N: 2, Action: ActDrop})
+	inj.AddEvent(Event{Src: 0, Dst: 2, N: 3, Action: ActKillRank, Rank: 2})
+
+	if inj.OnSend(0, 1, 0, 3).Drop {
+		t.Fatal("event fired on 1st RTS, want 2nd")
+	}
+	if !inj.OnSend(0, 1, 0, 3).Drop {
+		t.Fatal("event did not fire on 2nd RTS")
+	}
+	if inj.OnSend(0, 1, 0, 3).Drop {
+		t.Fatal("one-shot event fired twice")
+	}
+
+	g0 := inj.DeadGen()
+	inj.OnSend(0, 2, 0, 1)
+	inj.OnSend(0, 2, 0, 1)
+	if inj.Dead(2) {
+		t.Fatal("rank died before its 3rd op")
+	}
+	inj.OnSend(0, 2, 0, 1)
+	if !inj.Dead(2) {
+		t.Fatal("kill-at-op event did not fire")
+	}
+	if inj.DeadGen() == g0 {
+		t.Fatal("DeadGen did not advance on kill")
+	}
+	if a := inj.OnSend(0, 2, 0, 1); !a.PeerDead {
+		t.Fatal("send to dead rank not refused")
+	}
+	if a := inj.OnSend(2, 0, 0, 1); !a.PeerDead {
+		t.Fatal("send from dead rank not refused")
+	}
+	if a := inj.OnRMA(0, 2); !a.PeerDead {
+		t.Fatal("RMA to dead rank not refused")
+	}
+	if !errors.Is(ErrPeerDead, ErrPeerDead) {
+		t.Fatal("ErrPeerDead identity broken")
+	}
+}
+
+// TestDownDevice: sends to a downed (rank, device) drop; the rank's
+// other devices still deliver.
+func TestDownDevice(t *testing.T) {
+	inj := New(5, 2)
+	inj.DownDevice(1, 2)
+	if !inj.OnSend(0, 1, 2, 1).Drop {
+		t.Fatal("send to downed device delivered")
+	}
+	if inj.OnSend(0, 1, 0, 1).Drop {
+		t.Fatal("send to healthy device dropped")
+	}
+}
+
+// TestConcurrentReads: KillRank and the read paths race cleanly (run
+// under -race in CI).
+func TestConcurrentReads(t *testing.T) {
+	inj := New(11, 8)
+	inj.SetRule(-1, -1, Rule{DropP: 0.1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				inj.OnSend(g, (g+1)%8, 0, 1)
+				if i == 2500 && g == 0 {
+					inj.KillRank(7)
+				}
+				_ = inj.DeadGen()
+				_ = inj.Dead(7)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !inj.Dead(7) {
+		t.Fatal("rank 7 not dead")
+	}
+	_ = inj.String()
+}

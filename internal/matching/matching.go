@@ -181,6 +181,57 @@ func (b *bucket) removeInline(i int) {
 	b.n--
 }
 
+// RemoveRecvs removes every queued receive whose key satisfies pred and
+// returns the removed values in unspecified order. Parked sends are never
+// touched. It is the failure-domain sweep primitive: when a peer dies,
+// the runtime removes the receives that can only ever match that peer
+// (wildcard-rank keys never satisfy a rank predicate) and error-completes
+// them instead of letting their waiters wedge. It takes every bucket
+// lock; callers are control-path (peer-death reaction), not hot-path.
+func (e *Engine) RemoveRecvs(pred func(key uint64) bool) []any {
+	var out []any
+	for bi := range e.buckets {
+		b := &e.buckets[bi]
+		b.mu.Lock()
+		for i := 0; i < int(b.n); {
+			if s := b.slots[i]; s.typ == Recv && pred(s.key) {
+				out = append(out, s.val)
+				// removeInline may promote an overflow slot into the tail;
+				// re-check index i, which now holds the shifted entry.
+				b.removeInline(i)
+				continue
+			}
+			i++
+		}
+		for i := 0; i < len(b.over); {
+			if s := b.over[i]; s.typ == Recv && pred(s.key) {
+				out = append(out, s.val)
+				last := len(b.over) - 1
+				copy(b.over[i:], b.over[i+1:])
+				b.over[last] = slot{}
+				b.over = b.over[:last]
+				if last == 0 {
+					b.over = nil
+				}
+				continue
+			}
+			i++
+		}
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// RankOf extracts the rank half of a key built by MakeKey, and whether it
+// names a concrete rank (false for wildcard-rank keys).
+func RankOf(key uint64) (int, bool) {
+	r := key >> 32
+	if r == wildcardRank {
+		return 0, false
+	}
+	return int(uint32(r)), true
+}
+
 // Len counts queued (unmatched) values across all buckets. Intended for
 // tests and diagnostics; it takes every bucket lock.
 func (e *Engine) Len() int {

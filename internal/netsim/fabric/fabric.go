@@ -31,15 +31,22 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"lci/internal/fault"
 	"lci/internal/mpmc"
 	"lci/internal/spin"
 	"lci/internal/topo"
 )
+
+// ErrNoSlots reports that the destination endpoint is out of both receive
+// slots and pending-queue space; the sender must retry later. Providers
+// surface it as transmit-queue backpressure (their ErrTxFull).
+var ErrNoSlots = errors.New("fabric: destination out of receive slots and pending space")
 
 // CompKind classifies simulated completion events.
 type CompKind uint8
@@ -176,7 +183,20 @@ type Fabric struct {
 	ranks   []atomic.Pointer[rankState]
 	nActive atomic.Int64
 	nextKey atomic.Uint64
+
+	// inj is the optional fault injector. The nil fast path is one atomic
+	// pointer load per Send/Write/Read — the chaos gate holds the
+	// injector-absent rate within 5% of the pre-fault fabric.
+	inj atomic.Pointer[fault.Injector]
 }
+
+// SetInjector installs (nil removes) the fabric's fault injector. Install
+// before traffic starts; KillRank/DownDevice on an installed injector are
+// safe mid-run.
+func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj.Store(inj) }
+
+// Injector returns the installed fault injector (nil when none).
+func (f *Fabric) Injector() *fault.Injector { return f.inj.Load() }
 
 // New creates a fabric for cfg.NumRanks ranks with no endpoints and no
 // per-rank state yet; rank state materializes on first use.
@@ -350,10 +370,39 @@ func (f *Fabric) resolve(rank, hint int) *Endpoint {
 
 // Send transmits data (with sender metadata meta) from src to endpoint
 // dstDev of rank dst. The data slice is copied before Send returns; the
-// caller may reuse it immediately. Send reports false when the target is
-// out of both receive slots and pending-queue space; the caller must
-// retry later.
-func (f *Fabric) Send(dst, dstDev, src int, meta uint32, data []byte) bool {
+// caller may reuse it immediately. Send returns ErrNoSlots when the
+// target is out of both receive slots and pending-queue space (retry
+// later), and fault.ErrPeerDead when an installed injector has the
+// source or destination rank in its dead set. An injector may also drop
+// (Send still returns nil: the wire ate it after local acceptance),
+// delay, or duplicate the message.
+func (f *Fabric) Send(dst, dstDev, src int, meta uint32, data []byte) error {
+	if inj := f.inj.Load(); inj != nil {
+		act := inj.OnSend(src, dst, dstDev, meta)
+		if act.PeerDead {
+			return fault.ErrPeerDead
+		}
+		if act.DelayNs > 0 {
+			spin.Delay(act.DelayNs)
+		}
+		if act.Drop {
+			return nil
+		}
+		if act.Duplicate {
+			if err := f.deliver(dst, dstDev, src, meta, data); err != nil {
+				return err
+			}
+			// The duplicate copy is best-effort: when it does not fit it
+			// is lost, never surfaced as backpressure.
+			_ = f.deliver(dst, dstDev, src, meta, data)
+			return nil
+		}
+	}
+	return f.deliver(dst, dstDev, src, meta, data)
+}
+
+// deliver is the fault-free delivery path Send wraps.
+func (f *Fabric) deliver(dst, dstDev, src int, meta uint32, data []byte) error {
 	e := f.resolve(dst, dstDev)
 	e.rxMu.Lock()
 	if s, ok := e.slots.PopFront(); ok {
@@ -363,12 +412,12 @@ func (f *Fabric) Send(dst, dstDev, src int, meta uint32, data []byte) bool {
 		e.rxMu.Unlock()
 		e.statMsgs.Add(1)
 		e.statBytes.Add(int64(len(data)))
-		return true
+		return nil
 	}
 	if e.pending.Len() >= f.cfg.PendingCap {
 		e.rxMu.Unlock()
 		e.statRejects.Add(1)
-		return false
+		return ErrNoSlots
 	}
 	// RNR path: buffer a private copy in arrival order.
 	cp := make([]byte, len(data))
@@ -378,7 +427,7 @@ func (f *Fabric) Send(dst, dstDev, src int, meta uint32, data []byte) bool {
 	e.statRNR.Add(1)
 	e.statMsgs.Add(1)
 	e.statBytes.Add(int64(len(data)))
-	return true
+	return nil
 }
 
 // PostRecv posts a receive slot at endpoint e. If RNR-buffered messages
@@ -467,6 +516,15 @@ func (rs *rankState) region(rank int, rkey uint64) ([]byte, error) {
 // endpoint notifyDev of the target. The byte movement happens on the
 // calling goroutine (the simulated DMA engine).
 func (f *Fabric) Write(dst, notifyDev, src int, rkey, offset uint64, data []byte, imm uint64, hasImm bool) error {
+	if inj := f.inj.Load(); inj != nil {
+		act := inj.OnRMA(src, dst)
+		if act.PeerDead {
+			return fault.ErrPeerDead
+		}
+		if act.DelayNs > 0 {
+			spin.Delay(act.DelayNs)
+		}
+	}
 	rs := f.peek(dst)
 	if rs == nil {
 		return fmt.Errorf("fabric: rank %d has no memory region with rkey %d", dst, rkey)
@@ -494,6 +552,15 @@ func (f *Fabric) Write(dst, notifyDev, src int, rkey, offset uint64, data []byte
 // buffer into. Like Write it is synchronous; the target CPU is not
 // involved, matching RDMA-read semantics.
 func (f *Fabric) Read(dst int, rkey, offset uint64, into []byte) error {
+	if inj := f.inj.Load(); inj != nil {
+		act := inj.OnRMA(-1, dst)
+		if act.PeerDead {
+			return fault.ErrPeerDead
+		}
+		if act.DelayNs > 0 {
+			spin.Delay(act.DelayNs)
+		}
+	}
 	rs := f.peek(dst)
 	if rs == nil {
 		return fmt.Errorf("fabric: rank %d has no memory region with rkey %d", dst, rkey)

@@ -2,8 +2,10 @@ package fabric_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"lci/internal/fault"
 	"lci/internal/netsim/fabric"
 )
 
@@ -19,8 +21,8 @@ func TestSendIntoPostedRecv(t *testing.T) {
 	f, _, e1 := newPair(t)
 	buf := make([]byte, 64)
 	e1.PostRecv(buf, "slot")
-	if !f.Send(1, 0, 0, 42, []byte("hello")) {
-		t.Fatal("Send failed with a posted recv")
+	if err := f.Send(1, 0, 0, 42, []byte("hello")); err != nil {
+		t.Fatalf("Send failed with a posted recv: %v", err)
 	}
 	var comps [4]fabric.Completion
 	n := e1.PollReady(comps[:])
@@ -40,12 +42,12 @@ func TestRNRBufferingPreservesOrderThenBackpressure(t *testing.T) {
 	f, _, e1 := newPair(t)
 	// No recvs posted: up to PendingCap sends buffer, then refusal.
 	for i := 0; i < 4; i++ {
-		if !f.Send(1, 0, 0, uint32(i), []byte{byte(i)}) {
-			t.Fatalf("send %d refused below pending cap", i)
+		if err := f.Send(1, 0, 0, uint32(i), []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d refused below pending cap: %v", i, err)
 		}
 	}
-	if f.Send(1, 0, 0, 99, []byte{9}) {
-		t.Fatal("send accepted beyond pending cap")
+	if err := f.Send(1, 0, 0, 99, []byte{9}); !errors.Is(err, fabric.ErrNoSlots) {
+		t.Fatalf("send beyond pending cap: err = %v, want ErrNoSlots", err)
 	}
 	// Posting receives drains the pending queue in order.
 	for i := 0; i < 4; i++ {
@@ -144,5 +146,57 @@ func TestStatsCounters(t *testing.T) {
 	st := e1.Stats()
 	if st.Msgs != 1 || st.Bytes != 4 || st.Ready != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestInjectorOnFabric covers the fabric-side fault hooks: drop (send
+// succeeds, nothing delivered), duplicate (two completions), dead rank
+// (typed refusal on sends and RMA).
+func TestInjectorOnFabric(t *testing.T) {
+	f, _, e1 := newPair(t)
+	inj := fault.New(123, 2)
+	inj.AddEvent(fault.Event{Src: -1, Dst: -1, N: 1, Action: fault.ActDrop})
+	f.SetInjector(inj)
+	if f.Injector() != inj {
+		t.Fatal("Injector accessor lost the installed injector")
+	}
+
+	e1.PostRecv(make([]byte, 8), nil)
+	e1.PostRecv(make([]byte, 8), nil)
+	if err := f.Send(1, 0, 0, 1, []byte("dropme")); err != nil {
+		t.Fatalf("dropped send surfaced an error: %v", err)
+	}
+	var comps [4]fabric.Completion
+	if n := e1.PollReady(comps[:]); n != 0 {
+		t.Fatalf("dropped send delivered %d completions", n)
+	}
+
+	// Duplicate: p=1 rule delivers every send twice.
+	f.SetInjector(func() *fault.Injector {
+		i2 := fault.New(5, 2)
+		i2.SetRule(0, 1, fault.Rule{DupP: 1.0})
+		return i2
+	}())
+	if err := f.Send(1, 0, 0, 2, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	if n := e1.PollReady(comps[:]); n != 2 {
+		t.Fatalf("duplicated send delivered %d completions, want 2", n)
+	}
+
+	// Dead rank: typed refusal on header sends and RMA legs.
+	i3 := fault.New(9, 2)
+	i3.KillRank(1)
+	f.SetInjector(i3)
+	if err := f.Send(1, 0, 0, 3, []byte("x")); !errors.Is(err, fault.ErrPeerDead) {
+		t.Fatalf("send to dead rank: err = %v, want ErrPeerDead", err)
+	}
+	region := make([]byte, 8)
+	rkey := f.RegisterMem(1, region)
+	if err := f.Write(1, 0, 0, rkey, 0, []byte("a"), 0, false); !errors.Is(err, fault.ErrPeerDead) {
+		t.Fatalf("write to dead rank: err = %v, want ErrPeerDead", err)
+	}
+	if err := f.Read(1, rkey, 0, make([]byte, 1)); !errors.Is(err, fault.ErrPeerDead) {
+		t.Fatalf("read from dead rank: err = %v, want ErrPeerDead", err)
 	}
 }

@@ -330,15 +330,18 @@ func (d *Device) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) er
 	q.td.Lock()
 	q.mu.Lock()
 	spin.Delay(d.ctx.cfg.SendOverheadNs)
-	ok := d.ctx.fab.Send(dst, dstDev, d.ctx.rank, meta, data)
+	err := d.ctx.fab.Send(dst, dstDev, d.ctx.rank, meta, data)
 	q.mu.Unlock()
 	q.td.Unlock()
-	if !ok {
+	if err != nil {
 		if !inline {
 			d.credits.Add(1)
 		}
 		d.pacer.Release()
-		return ErrTxFull // receiver RNR-saturated: behaves like tx backpressure
+		if errors.Is(err, fabric.ErrNoSlots) {
+			return ErrTxFull // receiver RNR-saturated: behaves like tx backpressure
+		}
+		return err // non-retryable fabric verdict (e.g. fault.ErrPeerDead)
 	}
 	if !inline {
 		d.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})

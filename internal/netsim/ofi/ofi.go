@@ -239,14 +239,17 @@ func (e *Endpoint) PostSend(dst, dstDev int, meta uint32, data []byte, ctx any) 
 	e.dom.regCacheLookup()
 	e.mu.Lock()
 	spin.Delay(e.dom.cfg.SendOverheadNs)
-	ok := e.dom.fab.Send(dst, dstDev, e.dom.rank, meta, data)
+	err := e.dom.fab.Send(dst, dstDev, e.dom.rank, meta, data)
 	e.mu.Unlock()
-	if !ok {
+	if err != nil {
 		if !inject {
 			e.credits.Add(1)
 		}
 		e.pacer.Release()
-		return ErrTxFull
+		if errors.Is(err, fabric.ErrNoSlots) {
+			return ErrTxFull
+		}
+		return err // non-retryable fabric verdict (e.g. fault.ErrPeerDead)
 	}
 	if !inject {
 		e.txEv.Enqueue(fabric.Completion{Kind: fabric.TxDone, Ctx: ctx})

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"lci/internal/fault"
 	"lci/internal/netsim/fabric"
 	"lci/internal/netsim/ibv"
 	"lci/internal/netsim/ofi"
@@ -34,6 +35,13 @@ var ErrRetry = errors.New("network: busy, retry")
 // ErrTxFull wraps provider transmit-queue exhaustion. errors.Is(err,
 // ErrRetry) is also true for it.
 var ErrTxFull = fmt.Errorf("%w: transmit queue full", ErrRetry)
+
+// ErrPeerDead reports an operation addressed to a downed rank. Unlike
+// ErrTxFull it does NOT wrap ErrRetry: the peer is gone, not busy, so
+// the runtime error-completes the operation instead of retrying. The
+// providers surface it unchanged from the fabric's fault injector; this
+// alias is the identity the layers above match on.
+var ErrPeerDead = fault.ErrPeerDead
 
 // Device is the per-device backend interface consumed by the LCI runtime.
 // All methods may return ErrRetry (or ErrTxFull).

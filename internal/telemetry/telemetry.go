@@ -165,6 +165,14 @@ type DeviceCounters struct {
 	// penalty on this device (posting or polling from a remote domain).
 	CrossOps atomic.Int64
 
+	// Failure-domain hardening: retransmit machinery and fault surfacing
+	// (zero on a healthy fabric with timeouts disabled).
+	Retransmits    atomic.Int64 // RTS/RTR control messages re-sent (timeout or dup-RTS)
+	RdvTimeouts    atomic.Int64 // rendezvous ops error-completed with ErrTimeout
+	DupSuppressed  atomic.Int64 // duplicate RTS/RTR/write-imm arrivals suppressed
+	PeerDeadErrors atomic.Int64 // operations error-completed with ErrPeerDead
+	DeadSweeps     atomic.Int64 // parked receives swept on peer death
+
 	_ spin.Pad
 }
 
@@ -207,6 +215,11 @@ type DeviceCountersSnap struct {
 	ProgressRounds  int64 `json:"progress_rounds"`
 	Completions     int64 `json:"completions"`
 	CrossOps        int64 `json:"cross_ops"`
+	Retransmits     int64 `json:"retransmits"`
+	RdvTimeouts     int64 `json:"rdv_timeouts"`
+	DupSuppressed   int64 `json:"dup_suppressed"`
+	PeerDeadErrors  int64 `json:"peer_dead_errors"`
+	DeadSweeps      int64 `json:"dead_sweeps"`
 }
 
 // Snap loads every counter individually (per-counter consistent; see the
@@ -236,6 +249,11 @@ func (c *DeviceCounters) Snap() DeviceCountersSnap {
 		ProgressRounds:  c.ProgressRounds.Load(),
 		Completions:     c.Completions.Load(),
 		CrossOps:        c.CrossOps.Load(),
+		Retransmits:     c.Retransmits.Load(),
+		RdvTimeouts:     c.RdvTimeouts.Load(),
+		DupSuppressed:   c.DupSuppressed.Load(),
+		PeerDeadErrors:  c.PeerDeadErrors.Load(),
+		DeadSweeps:      c.DeadSweeps.Load(),
 	}
 }
 
@@ -264,6 +282,11 @@ func (a DeviceCountersSnap) sub(b DeviceCountersSnap) DeviceCountersSnap {
 		ProgressRounds:  a.ProgressRounds - b.ProgressRounds,
 		Completions:     a.Completions - b.Completions,
 		CrossOps:        a.CrossOps - b.CrossOps,
+		Retransmits:     a.Retransmits - b.Retransmits,
+		RdvTimeouts:     a.RdvTimeouts - b.RdvTimeouts,
+		DupSuppressed:   a.DupSuppressed - b.DupSuppressed,
+		PeerDeadErrors:  a.PeerDeadErrors - b.PeerDeadErrors,
+		DeadSweeps:      a.DeadSweeps - b.DeadSweeps,
 	}
 }
 
@@ -292,6 +315,11 @@ func (a DeviceCountersSnap) add(b DeviceCountersSnap) DeviceCountersSnap {
 		ProgressRounds:  a.ProgressRounds + b.ProgressRounds,
 		Completions:     a.Completions + b.Completions,
 		CrossOps:        a.CrossOps + b.CrossOps,
+		Retransmits:     a.Retransmits + b.Retransmits,
+		RdvTimeouts:     a.RdvTimeouts + b.RdvTimeouts,
+		DupSuppressed:   a.DupSuppressed + b.DupSuppressed,
+		PeerDeadErrors:  a.PeerDeadErrors + b.PeerDeadErrors,
+		DeadSweeps:      a.DeadSweeps + b.DeadSweeps,
 	}
 }
 
@@ -597,6 +625,12 @@ func (s Snapshot) WriteText(w io.Writer) {
 		tot.AMFires, tot.AMSignals, tot.AMDrops)
 	fmt.Fprintf(w, "== rendezvous ==\n")
 	fmt.Fprintf(w, "  rts-recv=%d rtr-sent=%d writes=%d\n", tot.RTSRecv, tot.RTRSent, tot.RdvWrite)
+	if tot.Retransmits != 0 || tot.RdvTimeouts != 0 || tot.DupSuppressed != 0 ||
+		tot.PeerDeadErrors != 0 || tot.DeadSweeps != 0 {
+		fmt.Fprintf(w, "== faults ==\n")
+		fmt.Fprintf(w, "  retransmits=%d timeouts=%d dup-suppressed=%d peer-dead=%d dead-sweeps=%d\n",
+			tot.Retransmits, tot.RdvTimeouts, tot.DupSuppressed, tot.PeerDeadErrors, tot.DeadSweeps)
+	}
 	fmt.Fprintf(w, "== progress ==\n")
 	fmt.Fprintf(w, "  rounds=%d completions=%d cross-numa-ops=%d\n",
 		tot.ProgressRounds, tot.Completions, tot.CrossOps)

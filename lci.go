@@ -67,6 +67,7 @@ import (
 	"lci/internal/coll"
 	"lci/internal/comp"
 	"lci/internal/core"
+	"lci/internal/fault"
 	"lci/internal/netsim/fabric"
 	"lci/internal/network"
 	"lci/internal/packet"
@@ -206,6 +207,15 @@ type World struct {
 	topoOverride  *Topology
 	placeOverride Placement
 	telOverride   *TelemetryConfig
+
+	// inj is the WithFaultInjector choice, installed on the fabric at
+	// NewWorld so every runtime builds hardened (faults.go).
+	inj *fault.Injector
+
+	// mu guards rts, the runtimes built from this world; Close finalizes
+	// the ones still open.
+	mu  sync.Mutex
+	rts []*Runtime
 }
 
 // NewWorld creates an n-rank world. Options select the simulated platform
@@ -232,6 +242,9 @@ func NewWorld(n int, opts ...WorldOption) *World {
 		PendingCap: w.platform.PendingCap,
 		Topo:       w.coreCfg.Topology,
 	})
+	if w.inj != nil {
+		w.fab.SetInjector(w.inj)
+	}
 	return w
 }
 
@@ -275,9 +288,22 @@ func (w *World) Fabric() *fabric.Fabric { return w.fab }
 // Platform returns the world's platform description.
 func (w *World) Platform() Platform { return w.platform }
 
-// Close releases world resources. (The in-process fabric is garbage
-// collected; Close exists for API symmetry and future transports.)
-func (w *World) Close() error { return nil }
+// Close finalizes every runtime built from this world that is still
+// open, joining their errors. Runtime.Close is idempotent, so the usual
+// sequences — Launch (which closes each rank's runtime when its body
+// returns) followed by a deferred world Close, or explicit per-rank
+// Closes plus this one — are all safe. Close itself is idempotent.
+func (w *World) Close() error {
+	w.mu.Lock()
+	rts := w.rts
+	w.rts = nil
+	w.mu.Unlock()
+	errs := make([]error, len(rts))
+	for i, rt := range rts {
+		errs[i] = rt.Close()
+	}
+	return errors.Join(errs...)
+}
 
 // NewRuntime builds the runtime for one rank (g_runtime_init's moral
 // equivalent; multiple runtimes per process are the normal case here).
@@ -290,6 +316,9 @@ func (w *World) NewRuntime(rank int) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{core: crt, coll: coll.New(crt)}
+	w.mu.Lock()
+	w.rts = append(w.rts, rt)
+	w.mu.Unlock()
 	return rt, nil
 }
 
