@@ -64,7 +64,7 @@ func WithFaultInjector(inj *FaultInjector) WorldOption {
 }
 
 // Errors re-exported from the failure domain. All are matched with
-// errors.Is; completion objects carry them in Status.Err and latch the
+// errors.Is; completion objects carry them in Status.Err() and latch the
 // first one (Counter.Err, Sync.Err, Graph.Err).
 var (
 	// ErrTxFull reports a full provider transmit queue; posting paths

@@ -165,8 +165,8 @@ type buffer struct {
 // destination died while the post was parked on a device backlog).
 // Runs in poller context; the shard spinlock is append-only-short.
 func (b *buffer) Signal(st base.Status) {
-	if st.Err != nil {
-		b.sh.fail(b, st.Err)
+	if st.Failed() {
+		b.sh.fail(b, st.Err())
 		return
 	}
 	b.sh.recycle(b)

@@ -73,17 +73,18 @@ func (r RetryReason) String() string {
 type Status struct {
 	State  State
 	Reason RetryReason
+	// err is the interned index of the operation's terminal error (see
+	// errs.go); 0 means success. It sits in the padding after
+	// State/Reason so error carriage does not grow the struct — Status
+	// travels by value through completion-queue cells, and its size is
+	// completion-queue throughput (Figure 6). Set with WithErr, read
+	// with Err.
+	err    uint32
 	Rank   int    // peer rank (source for receives/AMs, target for sends)
 	Tag    int    // message tag
 	Buffer []byte // message buffer (receive side: the delivered data)
 	Size   int    // message size in bytes
 	Ctx    any    // user context attached at posting time
-	// Err is non-nil when the operation terminated unsuccessfully: the
-	// completion object is still signaled exactly once, but the transfer
-	// did not happen (rendezvous timeout, dead peer, runtime shutdown,
-	// aborted graph node). Retry is NOT an error — a Retry status always
-	// has Err == nil.
-	Err error
 }
 
 // IsDone reports whether the operation completed immediately.
@@ -95,8 +96,25 @@ func (s Status) IsPosted() bool { return s.State == Posted }
 // IsRetry reports whether the operation must be retried.
 func (s Status) IsRetry() bool { return s.State == Retry }
 
-// Failed reports whether the operation terminated with an error.
-func (s Status) Failed() bool { return s.Err != nil }
+// Err returns the error the operation terminated with, or nil. Non-nil
+// means the completion object was still signaled exactly once, but the
+// transfer did not happen (rendezvous timeout, dead peer, runtime
+// shutdown, aborted graph node). Retry is NOT an error — a Retry status
+// always has a nil Err.
+func (s Status) Err() error { return internedErr(s.err) }
+
+// WithErr returns a copy of s carrying err as its terminal error;
+// WithErr(nil) clears it. Error statuses are built on failure paths
+// only, so the interning cost never touches the success hot path.
+func (s Status) WithErr(err error) Status {
+	s.err = internErr(err)
+	return s
+}
+
+// Failed reports whether the operation terminated with an error. It is a
+// single integer compare — cheap enough for per-signal checks on the
+// success hot path.
+func (s Status) Failed() bool { return s.err != 0 }
 
 // Comp is a completion object (§4.2.6): a functor with a signal method.
 // The runtime invokes Signal exactly once per completed operation that

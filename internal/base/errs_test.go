@@ -1,0 +1,79 @@
+package base
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestStatusSize pins the Status layout: the interned error index must
+// ride in the padding after State/Reason, because Status size is
+// completion-queue throughput (Figure 6). Growing the struct is a
+// performance regression, not a refactor detail.
+func TestStatusSize(t *testing.T) {
+	if got, want := unsafe.Sizeof(Status{}), uintptr(72); got != want {
+		t.Fatalf("Status is %d bytes, want %d — the error index must stay in padding", got, want)
+	}
+}
+
+// TestStatusErrRoundTrip: WithErr/Err round-trips identity for errors.Is,
+// nil stays nil, and Failed mirrors the error's presence.
+func TestStatusErrRoundTrip(t *testing.T) {
+	if st := (Status{}); st.Err() != nil || st.Failed() {
+		t.Fatal("zero Status claims an error")
+	}
+	sentinel := errors.New("sentinel")
+	st := Status{Rank: 3}.WithErr(sentinel)
+	if !st.Failed() || !errors.Is(st.Err(), sentinel) {
+		t.Fatalf("Err = %v, want the sentinel", st.Err())
+	}
+	if st.Rank != 3 {
+		t.Fatal("WithErr disturbed other fields")
+	}
+	wrapped := fmt.Errorf("context: %w", sentinel)
+	if got := (Status{}).WithErr(wrapped).Err(); !errors.Is(got, sentinel) {
+		t.Fatalf("wrapped Err = %v does not unwrap to the sentinel", got)
+	}
+	st = st.WithErr(nil)
+	if st.Failed() || st.Err() != nil {
+		t.Fatal("WithErr(nil) did not clear the error")
+	}
+}
+
+// TestInternDedup: re-interning the same error value never grows the
+// table, including under concurrency, and non-comparable error values
+// are carried correctly (without dedup).
+func TestInternDedup(t *testing.T) {
+	sentinel := errors.New("dedup me")
+	first := internErr(sentinel)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if id := internErr(sentinel); id != first {
+					t.Errorf("intern id changed: %d != %d", id, first)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	nc := noCompareErr{msg: "non-comparable"}
+	if got := (Status{}).WithErr(nc).Err(); got.Error() != "non-comparable" {
+		t.Fatalf("non-comparable error round-trip = %v", got)
+	}
+}
+
+// noCompareErr has a slice field, making the dynamic type non-comparable
+// — a legal error implementation the intern map must not panic on.
+type noCompareErr struct {
+	msg string
+	_   []byte
+}
+
+func (e noCompareErr) Error() string { return e.msg }

@@ -31,10 +31,13 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{} }
 
 // Signal increments the counter; the first error status is latched, the
-// rest of the status is discarded.
+// rest of the status is discarded. The no-error check is a single
+// integer compare (Status.Failed), so latching costs nothing on the
+// success path.
 func (c *Counter) Signal(st base.Status) {
-	if st.Err != nil {
-		c.err.CompareAndSwap(nil, &st.Err)
+	if st.Failed() {
+		e := st.Err()
+		c.err.CompareAndSwap(nil, &e)
 	}
 	c.n.Add(1)
 }
@@ -121,8 +124,8 @@ func (s *Sync) Statuses() []base.Status { return s.statuses[:s.ready.Load()] }
 // Statuses, the answer is final only after Test reports true.
 func (s *Sync) Err() error {
 	for _, st := range s.Statuses() {
-		if st.Err != nil {
-			return st.Err
+		if st.Failed() {
+			return st.Err()
 		}
 	}
 	return nil

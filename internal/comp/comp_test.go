@@ -39,8 +39,8 @@ func TestCounterLatchesFirstError(t *testing.T) {
 		t.Fatalf("clean counter has Err %v", c.Err())
 	}
 	first := errors.New("first failure")
-	c.Signal(base.Status{Err: first})
-	c.Signal(base.Status{Err: errors.New("second failure")})
+	c.Signal(base.Status{}.WithErr(first))
+	c.Signal(base.Status{}.WithErr(errors.New("second failure")))
 	c.Signal(base.Status{})
 	if c.Load() != 4 {
 		t.Fatalf("count = %d, want 4", c.Load())
@@ -59,7 +59,7 @@ func TestSyncErr(t *testing.T) {
 	s := comp.NewSync(2)
 	boom := errors.New("boom")
 	s.Signal(base.Status{})
-	s.Signal(base.Status{Err: boom})
+	s.Signal(base.Status{}.WithErr(boom))
 	if !s.Test() {
 		t.Fatal("sync not ready")
 	}
@@ -73,9 +73,9 @@ func TestSyncErr(t *testing.T) {
 func TestQueueCarriesErr(t *testing.T) {
 	q := comp.NewQueue()
 	boom := errors.New("boom")
-	q.Signal(base.Status{Tag: 7, Err: boom})
+	q.Signal(base.Status{Tag: 7}.WithErr(boom))
 	st, ok := q.Pop()
-	if !ok || st.Tag != 7 || !errors.Is(st.Err, boom) {
+	if !ok || st.Tag != 7 || !errors.Is(st.Err(), boom) {
 		t.Fatalf("Pop = %+v, %v", st, ok)
 	}
 }

@@ -63,8 +63,8 @@ type graphNode struct {
 // when its posted communication completes. An error status fails the
 // node, which aborts its dependents instead of firing them.
 func (n *graphNode) Signal(st base.Status) {
-	if st.Err != nil {
-		n.g.fail(n, st.Err)
+	if st.Failed() {
+		n.g.fail(n, st.Err())
 		return
 	}
 	n.g.complete(n)
@@ -195,8 +195,8 @@ func (g *Graph) post(n *graphNode) {
 	}
 	st := n.op(n)
 	switch {
-	case st.Err != nil && !st.IsRetry():
-		g.fail(n, st.Err)
+	case st.Failed() && !st.IsRetry():
+		g.fail(n, st.Err())
 	case st.IsDone():
 		g.complete(n)
 	case st.IsRetry():

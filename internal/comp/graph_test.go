@@ -108,7 +108,7 @@ func TestGraphAbortCascade(t *testing.T) {
 	g.AddEdge(fail, child)
 	g.AddEdge(child, grand)
 	g.Start()
-	failComp.Signal(base.Status{Err: boom})
+	failComp.Signal(base.Status{}.WithErr(boom))
 	if !g.Test() {
 		t.Fatal("failed graph never converged")
 	}
@@ -154,11 +154,11 @@ func TestGraphJoinAbortsOnAnyFailedParent(t *testing.T) {
 		g.AddEdge(pOK, join)
 		g.Start()
 		if failFirst {
-			cFail.Signal(base.Status{Err: boom})
+			cFail.Signal(base.Status{}.WithErr(boom))
 			cOK.Signal(base.Status{})
 		} else {
 			cOK.Signal(base.Status{})
-			cFail.Signal(base.Status{Err: boom})
+			cFail.Signal(base.Status{}.WithErr(boom))
 		}
 		if !g.Test() {
 			t.Fatalf("failFirst=%v: graph never converged", failFirst)
@@ -178,7 +178,7 @@ func TestGraphOpFailsAtPostTime(t *testing.T) {
 	g := comp.NewGraph()
 	boom := errors.New("peer dead")
 	n := g.AddOp(func(c base.Comp) base.Status {
-		return base.Status{State: base.Done, Err: boom}
+		return base.Status{State: base.Done}.WithErr(boom)
 	})
 	var depRan atomic.Bool
 	dep := g.AddOp(func(c base.Comp) base.Status {

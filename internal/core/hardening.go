@@ -149,9 +149,7 @@ func (d *Device) failSend(ss *sendState, err error) {
 		d.tc.PeerDeadErrors.Add(1)
 	}
 	if ss.comp != nil {
-		st := ss.st
-		st.Err = err
-		ss.comp.Signal(st)
+		ss.comp.Signal(ss.st.WithErr(err))
 	}
 }
 
@@ -174,8 +172,8 @@ func (d *Device) failRecv(st *rdvState, err error) {
 	}
 	if st.comp != nil {
 		st.comp.Signal(base.Status{
-			State: base.Done, Rank: st.src, Tag: st.tag, Ctx: st.ctx, Err: err,
-		})
+			State: base.Done, Rank: st.src, Tag: st.tag, Ctx: st.ctx,
+		}.WithErr(err))
 	}
 }
 
@@ -204,8 +202,8 @@ func (d *Device) sweepDead(inj *fault.Injector) {
 				}
 				if rop.comp != nil {
 					rop.comp.Signal(base.Status{
-						State: base.Done, Rank: dr, Ctx: rop.ctx, Err: network.ErrPeerDead,
-					})
+						State: base.Done, Rank: dr, Ctx: rop.ctx,
+					}.WithErr(network.ErrPeerDead))
 				}
 			}
 		}
@@ -266,8 +264,8 @@ func (rt *Runtime) CancelRecvs(eng *MatchEngine, reason error) int {
 		}
 		if rop.comp != nil {
 			rop.comp.Signal(base.Status{
-				State: base.Done, Rank: base.AnySource, Ctx: rop.ctx, Err: reason,
-			})
+				State: base.Done, Rank: base.AnySource, Ctx: rop.ctx,
+			}.WithErr(reason))
 		}
 	}
 	return len(removed)
